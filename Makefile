@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test test-short bench figures examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+# One benchmark per paper table/figure, with custom metrics.
+bench:
+	go test -bench=. -benchmem -run XXX .
+
+# Regenerate every figure at the quick scale (see EXPERIMENTS.md).
+figures:
+	@for f in 4 5 6 8 10 13 14a 14b cap bliss priority dual energy; do \
+		echo "=== FIG $$f ==="; \
+		go run ./cmd/pimsweep -fig $$f; \
+	done
+	@echo "=== FIG 11 ==="
+	go run ./cmd/pimllm
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/competitive
+	go run ./examples/collaborative
+	go run ./examples/custompolicy
+	go run ./examples/tenancy
+	go run ./examples/fft
+
+clean:
+	rm -rf results/ test_output.txt bench_output.txt

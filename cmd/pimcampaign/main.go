@@ -1,0 +1,167 @@
+// Command pimcampaign runs the paper's full evaluation campaign — every
+// (GPU, PIM, policy, VC) combination — writing one JSON result file per
+// combination and skipping combinations whose file already exists, so an
+// interrupted campaign resumes where it left off. This mirrors the
+// paper's artifact, whose 3258 GPGPU-Sim runs take two weeks and are
+// managed the same way; here the scaled configuration finishes in
+// minutes and the full Table I machine (-full) in hours.
+//
+// Usage:
+//
+//	pimcampaign -out campaign/ [-scale 0.2] [-full] [-parallel 8]
+//	            [-policies f3fs,fr-rr-fcfs] [-gpus G1,G2] [-pims P1]
+//
+// Each result file is a report.PairRecord; `jq -s` over the directory
+// reconstructs the full dataset.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	pimsim "repro"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "campaign", "output directory (one JSON per combination)")
+		scale    = flag.Float64("scale", 0.2, "workload scale factor")
+		full     = flag.Bool("full", false, "use the full Table I configuration")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
+		policies = flag.String("policies", "", "comma-separated policy subset (default: all nine)")
+		gpus     = flag.String("gpus", "", "comma-separated GPU kernel subset (default: all twenty)")
+		pims     = flag.String("pims", "", "comma-separated PIM kernel subset (default: all nine)")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	cfg := pimsim.ScaledConfig()
+	if *full {
+		cfg = pimsim.PaperConfig()
+	} else {
+		cfg.MaxGPUCycles = 2_500_000
+	}
+	r := pimsim.NewRunner(cfg, *scale)
+	r.Parallel = 1 // parallelism handled here, per combination
+
+	gpuIDs := pimsim.AllGPUKernels()
+	if *gpus != "" {
+		gpuIDs = strings.Split(*gpus, ",")
+	}
+	pimIDs := pimsim.AllPIMKernels()
+	if *pims != "" {
+		pimIDs = strings.Split(*pims, ",")
+	}
+	pols := pimsim.Policies()
+	if *policies != "" {
+		pols = strings.Split(*policies, ",")
+	}
+	modes := []pimsim.VCMode{pimsim.VC1, pimsim.VC2}
+
+	type job struct {
+		gpu, pim, policy string
+		mode             pimsim.VCMode
+	}
+	var jobs []job
+	skipped := 0
+	for _, mode := range modes {
+		for _, policy := range pols {
+			for _, g := range gpuIDs {
+				for _, p := range pimIDs {
+					if _, err := os.Stat(resultPath(*out, g, p, policy, mode)); err == nil {
+						skipped++
+						continue // already done: resume support
+					}
+					jobs = append(jobs, job{g, p, policy, mode})
+				}
+			}
+		}
+	}
+	fmt.Printf("campaign: %d combinations to run, %d already done\n", len(jobs), skipped)
+
+	// Pre-warm the standalone baselines serially (shared cache).
+	for _, g := range gpuIDs {
+		if _, err := r.StandaloneGPU(g); err != nil {
+			fatal(err)
+		}
+	}
+	for _, p := range pimIDs {
+		if _, err := r.StandalonePIM(p); err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	var mu sync.Mutex
+	var done, failed int
+	sem := make(chan struct{}, max(1, *parallel))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pair, err := r.Competitive(j.gpu, j.pim, j.policy, j.mode)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "  FAIL %s x %s %s/%s: %v\n", j.gpu, j.pim, j.policy, j.mode, err)
+				return
+			}
+			rec := pimsim.PairRecord{
+				VC: j.mode.String(), Policy: j.policy, GPU: j.gpu, PIM: j.pim,
+				GPUSpeedup: pair.GPUSpeedup, PIMSpeedup: pair.PIMSpeedup,
+				Fairness: pair.Fairness, Throughput: pair.Throughput,
+				MemArrivalNorm: pair.MemArrivalNorm, Switches: pair.Switches,
+				ConflictsPerSwitch: pair.ConflictsPerSwitch,
+				DrainPerSwitch:     pair.DrainPerSwitch, Aborted: pair.Aborted,
+			}
+			data, err := json.MarshalIndent(rec, "", "  ")
+			if err != nil {
+				failed++
+				return
+			}
+			if err := os.WriteFile(resultPath(*out, j.gpu, j.pim, j.policy, j.mode), data, 0o644); err != nil {
+				failed++
+				fmt.Fprintln(os.Stderr, "  write:", err)
+				return
+			}
+			done++
+			if done%50 == 0 {
+				fmt.Printf("  %d/%d (%s)\n", done, len(jobs), time.Since(start).Round(time.Second))
+			}
+		}(j)
+	}
+	wg.Wait()
+	fmt.Printf("campaign complete: %d written, %d failed, %s\n", done, failed, time.Since(start).Round(time.Second))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func resultPath(dir, gpu, pim, policy string, mode pimsim.VCMode) string {
+	return filepath.Join(dir, fmt.Sprintf("%s_%s_%s_%s.json", gpu, pim, policy, mode))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pimcampaign:", err)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

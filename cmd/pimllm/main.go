@@ -1,0 +1,48 @@
+// Command pimllm regenerates Fig. 11: the speedup of a GPT-3-6.7B-like
+// decoder layer overlapping QKV generation (GPU) with multi-head
+// attention (PIM), relative to sequential execution, under every
+// scheduling policy and both interconnect configurations. F3FS uses the
+// paper's tuned CAPs (256/128 under VC1, 64/64 under VC2).
+//
+// Usage:
+//
+//	pimllm [-scale 0.25] [-full] [-policies f3fs,fr-fcfs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	pimsim "repro"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 0.25, "workload scale factor")
+		full     = flag.Bool("full", false, "use the full Table I configuration")
+		policies = flag.String("policies", "", "comma-separated policy subset (default: all nine)")
+	)
+	flag.Parse()
+
+	cfg := pimsim.ScaledConfig()
+	if *full {
+		cfg = pimsim.PaperConfig()
+	} else {
+		cfg.MaxGPUCycles = 2_500_000
+	}
+	r := pimsim.NewRunner(cfg, *scale)
+
+	pols := pimsim.Policies()
+	if *policies != "" {
+		pols = strings.Split(*policies, ",")
+	}
+	results, err := r.CollaborativeSweep(pols, []pimsim.VCMode{pimsim.VC1, pimsim.VC2})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimllm:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Fig. 11: LLM speedup vs sequential QKV + MHA execution")
+	fmt.Print(pimsim.CollabTable(results))
+}

@@ -1,0 +1,81 @@
+// Command pimtimeline samples a co-execution over time and prints the
+// per-interval service rates and queue occupancies — the time-resolved
+// view of the congestion story in Fig. 7: under VC1 the PIM queue floods
+// while MEM service collapses; under VC2 both progress.
+//
+// Usage:
+//
+//	pimtimeline -gpu G8 -pim P1 -policy fr-fcfs -vc 1 -interval 2000
+//
+// Output is CSV: cycle, per-app service rate (requests per kcycle over
+// the interval), cumulative switches, average MEM/PIM queue occupancy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	pimsim "repro"
+)
+
+func main() {
+	var (
+		gpuID    = flag.String("gpu", "G8", "GPU kernel")
+		pimID    = flag.String("pim", "P1", "PIM kernel")
+		policy   = flag.String("policy", "fr-fcfs", "scheduling policy")
+		vc       = flag.Int("vc", 1, "interconnect config: 1 or 2")
+		interval = flag.Uint64("interval", 2000, "sampling interval in GPU cycles")
+		scale    = flag.Float64("scale", 0.15, "workload scale factor")
+	)
+	flag.Parse()
+
+	cfg := pimsim.ScaledConfig()
+	if *vc == 2 {
+		cfg.NoC.Mode = pimsim.VC2
+	}
+	gProf, err := pimsim.GPUProfileByID(*gpuID)
+	if err != nil {
+		fatal(err)
+	}
+	pProf, err := pimsim.PIMProfileByID(*pimID)
+	if err != nil {
+		fatal(err)
+	}
+	gpuSMs, pimSMs := pimsim.GPUAndPIMSMs(cfg)
+	sys, err := pimsim.NewSystem(cfg, *policy, []pimsim.KernelDesc{
+		{GPU: &gProf, SMs: gpuSMs, Scale: *scale},
+		{PIM: &pProf, SMs: pimSMs, Scale: *scale, Base: 1 << 30},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sys.EnableSampling(*interval)
+	res, err := sys.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("# %s x %s under %s / %s\n", *gpuID, *pimID, *policy, cfg.NoC.Mode)
+	fmt.Println("cycle,mem_rate,pim_rate,switches,memq,pimq")
+	var prev pimsim.SimSample
+	for i, s := range res.Samples {
+		dt := float64(s.GPUCycle)
+		var dMem, dPIM int
+		if i > 0 {
+			dt = float64(s.GPUCycle - prev.GPUCycle)
+			dMem = s.Completed[0] - prev.Completed[0]
+			dPIM = s.Completed[1] - prev.Completed[1]
+		} else {
+			dMem, dPIM = s.Completed[0], s.Completed[1]
+		}
+		fmt.Printf("%d,%.2f,%.2f,%d,%.1f,%.1f\n",
+			s.GPUCycle, 1000*float64(dMem)/dt, 1000*float64(dPIM)/dt, s.Switches, s.MemQ, s.PIMQ)
+		prev = s
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pimtimeline:", err)
+	os.Exit(1)
+}

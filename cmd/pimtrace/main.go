@@ -1,0 +1,71 @@
+// Command pimtrace runs a short co-execution and dumps the memory
+// controller event trace of one channel — enqueues, bank commands,
+// lockstep PIM commands, mode-switch drains and refreshes — the
+// cycle-level view Figs. 9 and 12 reason about.
+//
+// Usage:
+//
+//	pimtrace -gpu G8 -pim P1 -policy f3fs -vc 2 -channel 0 -events 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	pimsim "repro"
+)
+
+func main() {
+	var (
+		gpuID   = flag.String("gpu", "G8", "GPU kernel")
+		pimID   = flag.String("pim", "P1", "PIM kernel")
+		policy  = flag.String("policy", "f3fs", "scheduling policy")
+		vc      = flag.Int("vc", 2, "interconnect config: 1 or 2")
+		channel = flag.Int("channel", 0, "channel to trace")
+		events  = flag.Int("events", 200, "events to retain (most recent)")
+		scale   = flag.Float64("scale", 0.05, "workload scale factor")
+	)
+	flag.Parse()
+
+	cfg := pimsim.ScaledConfig()
+	if *vc == 2 {
+		cfg.NoC.Mode = pimsim.VC2
+	}
+	if *channel < 0 || *channel >= cfg.Memory.Channels {
+		fmt.Fprintf(os.Stderr, "pimtrace: channel %d out of range [0,%d)\n", *channel, cfg.Memory.Channels)
+		os.Exit(1)
+	}
+	gProf, err := pimsim.GPUProfileByID(*gpuID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimtrace:", err)
+		os.Exit(1)
+	}
+	pProf, err := pimsim.PIMProfileByID(*pimID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimtrace:", err)
+		os.Exit(1)
+	}
+	gpuSMs, pimSMs := pimsim.GPUAndPIMSMs(cfg)
+	sys, err := pimsim.NewSystem(cfg, *policy, []pimsim.KernelDesc{
+		{GPU: &gProf, SMs: gpuSMs, Scale: *scale},
+		{PIM: &pProf, SMs: pimSMs, Scale: *scale, Base: 1 << 30},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimtrace:", err)
+		os.Exit(1)
+	}
+	tr := sys.EnableTrace(*channel, *events)
+	res, err := sys.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimtrace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %s x %s, %s, %s, channel %d — last %d events of %d GPU cycles\n",
+		*gpuID, *pimID, *policy, cfg.NoC.Mode, *channel, tr.Len(), res.GPUCycles)
+	fmt.Print(tr.Dump())
+	fmt.Println("# event totals:")
+	for kind, n := range tr.CountByKind() {
+		fmt.Printf("#   %-13s %d\n", kind, n)
+	}
+}

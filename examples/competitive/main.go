@@ -1,0 +1,46 @@
+// Competitive multi-tenancy: a memory-intensive GPU kernel (kmeans, G11)
+// shares the machine with a PIM STREAM kernel — the paper's worst-case
+// interference pattern. The example sweeps every scheduling policy under
+// both interconnect configurations and prints the fairness/throughput
+// trade-off each policy strikes, plus the denial-of-service signal
+// (the GPU kernel's request arrival rate at the memory controller,
+// normalized to running alone).
+//
+//	go run ./examples/competitive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pimsim "repro"
+)
+
+func main() {
+	cfg := pimsim.ScaledConfig()
+	runner := pimsim.NewRunner(cfg, 0.25)
+
+	const gpuKernel, pimKernel = "G11", "P3" // kmeans vs STREAM-Daxpy
+
+	fmt.Printf("%s co-executing with %s\n\n", gpuKernel, pimKernel)
+	fmt.Printf("%-14s %-4s %8s %8s %8s %8s %10s\n",
+		"policy", "vc", "gpu-spd", "pim-spd", "FI", "ST", "mem-arrive")
+	for _, mode := range []pimsim.VCMode{pimsim.VC1, pimsim.VC2} {
+		for _, policy := range pimsim.Policies() {
+			pair, err := runner.Competitive(gpuKernel, pimKernel, policy, mode)
+			if err != nil {
+				log.Fatal(err)
+			}
+			note := ""
+			if pair.Aborted {
+				note = "  (starved)"
+			}
+			fmt.Printf("%-14s %-4s %8.3f %8.3f %8.3f %8.3f %10.3f%s\n",
+				policy, mode, pair.GPUSpeedup, pair.PIMSpeedup,
+				pair.Fairness, pair.Throughput, pair.MemArrivalNorm, note)
+		}
+		fmt.Println()
+	}
+	fmt.Println("FI = fairness index (Eq. 1), ST = system throughput,")
+	fmt.Println("mem-arrive = GPU kernel's MC arrival rate vs standalone (Fig. 6).")
+}

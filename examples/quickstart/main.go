@@ -1,0 +1,40 @@
+// Quickstart: simulate one competitive GPU/PIM pair under the paper's
+// proposal (VC2 interconnect + F3FS scheduling) and under the strongest
+// fairness baseline (VC1 + FR-RR-FCFS), and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pimsim "repro"
+)
+
+func main() {
+	// The scaled configuration keeps Table I's timing, queue sizes and
+	// SM/channel ratios but shrinks the system so this finishes in
+	// about a second. Use pimsim.PaperConfig() for the full machine.
+	cfg := pimsim.ScaledConfig()
+	runner := pimsim.NewRunner(cfg, 0.25)
+
+	// hotspot (G8) sharing the machine with STREAM-Add (P1).
+	baseline, err := runner.Competitive("G8", "P1", "fr-rr-fcfs", pimsim.VC1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proposed, err := runner.Competitive("G8", "P1", "f3fs", pimsim.VC2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("hotspot (G8) co-executing with STREAM-Add (P1)")
+	fmt.Printf("%-26s %8s %8s %10s\n", "configuration", "FI", "ST", "switches")
+	fmt.Printf("%-26s %8.3f %8.3f %10d\n", "VC1 + fr-rr-fcfs (base)", baseline.Fairness, baseline.Throughput, baseline.Switches)
+	fmt.Printf("%-26s %8.3f %8.3f %10d\n", "VC2 + f3fs (proposed)", proposed.Fairness, proposed.Throughput, proposed.Switches)
+	fmt.Printf("\nfairness %+.1f%%, throughput %+.1f%%, %.0fx fewer mode switches\n",
+		100*(proposed.Fairness/baseline.Fairness-1),
+		100*(proposed.Throughput/baseline.Throughput-1),
+		float64(baseline.Switches)/float64(proposed.Switches))
+}

@@ -1,0 +1,224 @@
+// Package addrmap slices physical addresses into DRAM coordinates
+// (channel, bank, row, column) according to the address map in Table I of
+// the paper:
+//
+//	RRRR.RRRRRRRR.RBBBCCCB.DDDDDCCC   (MSB ... LSB, above the burst offset)
+//	Key: R=Row, B=Bank, C=Column, D=Channel
+//
+// Reading the map from the least-significant end, above the 5 offset bits
+// of a 32 B access (16 B bus x burst length 2):
+//
+//	bits [0,3)  column low   (CCC)
+//	bits [3,8)  channel      (DDDDD)       -> 32 channels
+//	bit  [8]    bank low     (B)
+//	bits [9,12) column high  (CCC)
+//	bits [12,15) bank high   (BBB)         -> 16 banks
+//	bits [15,28) row         (R x 13)
+//
+// The low column bits sit directly above the offset so that consecutive
+// 32 B accesses first stride across columns of one row, then across
+// channels — the "more regular scheme" the paper adopts in favor of
+// pseudo-random I-poly mapping to facilitate PIM programming. An I-poly
+// style hashed mapper is also provided for completeness.
+package addrmap
+
+import "fmt"
+
+// Coord is the decoded location of an access.
+type Coord struct {
+	Channel int
+	Bank    int
+	Row     uint32
+	Col     uint32
+}
+
+// Mapper converts between byte addresses and DRAM coordinates.
+type Mapper interface {
+	// Decode slices addr into its coordinates.
+	Decode(addr uint64) Coord
+	// Encode is the inverse of Decode for in-range coordinates.
+	Encode(c Coord) uint64
+	// Geometry reports the sizes the mapper was built for.
+	Geometry() Geometry
+}
+
+// Geometry captures the dimensions of the memory system an address map
+// covers.
+type Geometry struct {
+	Channels     int // number of HBM channels
+	Banks        int // banks per channel
+	Rows         int // rows per bank
+	Columns      int // access-granularity columns per row
+	AccessBytes  int // bytes per access (bus width x burst length)
+	offsetBits   uint
+	colLowBits   uint
+	channelBits  uint
+	bankLowBits  uint
+	colHighBits  uint
+	bankHighBits uint
+	rowBits      uint
+}
+
+// RowBytes returns the size of one DRAM row in bytes.
+func (g Geometry) RowBytes() uint64 { return uint64(g.Columns) * uint64(g.AccessBytes) }
+
+// ChannelBytes returns the capacity of one channel in bytes.
+func (g Geometry) ChannelBytes() uint64 {
+	return uint64(g.Rows) * uint64(g.Banks) * g.RowBytes()
+}
+
+// TotalBytes returns the capacity of the whole memory in bytes.
+func (g Geometry) TotalBytes() uint64 { return uint64(g.Channels) * g.ChannelBytes() }
+
+func log2(n int) (uint, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("addrmap: %d is not a positive power of two", n)
+	}
+	var b uint
+	for m := n; m > 1; m >>= 1 {
+		b++
+	}
+	return b, nil
+}
+
+// NewGeometry validates the dimensions and derives the bit widths. All
+// dimensions must be powers of two. The paper's column bits split 3/3
+// around the bank-low bit; for other column counts the low field keeps
+// three bits (or fewer, if the total is smaller) and the remainder goes to
+// the high field.
+func NewGeometry(channels, banks, rows, columns, accessBytes int) (Geometry, error) {
+	g := Geometry{Channels: channels, Banks: banks, Rows: rows, Columns: columns, AccessBytes: accessBytes}
+	var err error
+	if g.offsetBits, err = log2(accessBytes); err != nil {
+		return g, fmt.Errorf("access bytes: %w", err)
+	}
+	if g.channelBits, err = log2(channels); err != nil {
+		return g, fmt.Errorf("channels: %w", err)
+	}
+	bankBits, err := log2(banks)
+	if err != nil {
+		return g, fmt.Errorf("banks: %w", err)
+	}
+	colBits, err := log2(columns)
+	if err != nil {
+		return g, fmt.Errorf("columns: %w", err)
+	}
+	if g.rowBits, err = log2(rows); err != nil {
+		return g, fmt.Errorf("rows: %w", err)
+	}
+	g.colLowBits = 3
+	if colBits < 3 {
+		g.colLowBits = colBits
+	}
+	g.colHighBits = colBits - g.colLowBits
+	g.bankLowBits = 1
+	if bankBits < 1 {
+		g.bankLowBits = bankBits
+	}
+	g.bankHighBits = bankBits - g.bankLowBits
+	return g, nil
+}
+
+// Interleaved is the paper's regular address map (Table I). The zero value
+// is not usable; construct with NewInterleaved.
+type Interleaved struct {
+	g Geometry
+}
+
+// NewInterleaved builds the Table I address map for the given geometry.
+func NewInterleaved(g Geometry) *Interleaved { return &Interleaved{g: g} }
+
+// Decode implements Mapper.
+func (m *Interleaved) Decode(addr uint64) Coord {
+	g := m.g
+	a := addr >> g.offsetBits
+	take := func(bits uint) uint64 {
+		v := a & ((1 << bits) - 1)
+		a >>= bits
+		return v
+	}
+	colLow := take(g.colLowBits)
+	channel := take(g.channelBits)
+	bankLow := take(g.bankLowBits)
+	colHigh := take(g.colHighBits)
+	bankHigh := take(g.bankHighBits)
+	row := take(g.rowBits)
+	return Coord{
+		Channel: int(channel),
+		Bank:    int(bankHigh<<g.bankLowBits | bankLow),
+		Row:     uint32(row),
+		Col:     uint32(colHigh<<g.colLowBits | colLow),
+	}
+}
+
+// Encode implements Mapper.
+func (m *Interleaved) Encode(c Coord) uint64 {
+	g := m.g
+	var a uint64
+	var shift uint
+	put := func(v uint64, bits uint) {
+		a |= (v & ((1 << bits) - 1)) << shift
+		shift += bits
+	}
+	put(uint64(c.Col), g.colLowBits)
+	put(uint64(c.Channel), g.channelBits)
+	put(uint64(c.Bank), g.bankLowBits)
+	put(uint64(c.Col)>>g.colLowBits, g.colHighBits)
+	put(uint64(c.Bank)>>g.bankLowBits, g.bankHighBits)
+	put(uint64(c.Row), g.rowBits)
+	return a << g.offsetBits
+}
+
+// Geometry implements Mapper.
+func (m *Interleaved) Geometry() Geometry { return m.g }
+
+// IPoly is a pseudo-randomly interleaved mapper in the spirit of Rau's
+// I-poly scheme: the channel index is the XOR-fold of the address above
+// the offset, which decorrelates channel selection from strided access
+// patterns. The paper turns this scheme OFF for PIM programmability
+// (Sec. III-B); it is provided so that the cost of the regular map can be
+// measured.
+type IPoly struct {
+	g Geometry
+}
+
+// NewIPoly builds the hashed mapper for the given geometry.
+func NewIPoly(g Geometry) *IPoly { return &IPoly{g: g} }
+
+// Decode implements Mapper. Coordinates other than the channel follow the
+// regular map so that row/bank locality properties stay comparable.
+func (m *IPoly) Decode(addr uint64) Coord {
+	g := m.g
+	base := (&Interleaved{g: g}).Decode(addr)
+	// XOR-fold everything above the offset into channelBits bits.
+	a := addr >> g.offsetBits
+	var h uint64
+	for a != 0 {
+		h ^= a & ((1 << g.channelBits) - 1)
+		a >>= g.channelBits
+	}
+	base.Channel = int(h)
+	return base
+}
+
+// Encode implements Mapper. The hash is not invertible in general, so
+// Encode reconstructs an address whose non-channel coordinates match and
+// whose hashed channel equals c.Channel by searching the channel field.
+// It is intended for tests and generators, not hot paths.
+func (m *IPoly) Encode(c Coord) uint64 {
+	inner := &Interleaved{g: m.g}
+	for ch := 0; ch < m.g.Channels; ch++ {
+		cand := c
+		cand.Channel = ch
+		addr := inner.Encode(cand)
+		if m.Decode(addr).Channel == c.Channel {
+			return addr
+		}
+	}
+	// Unreachable for power-of-two geometries: XOR-folding is a
+	// bijection over the channel field for fixed remaining bits.
+	panic("addrmap: IPoly.Encode found no preimage")
+}
+
+// Geometry implements Mapper.
+func (m *IPoly) Geometry() Geometry { return m.g }

@@ -1,0 +1,170 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func paperGeometry(t *testing.T) Geometry {
+	t.Helper()
+	g, err := NewGeometry(32, 16, 8192, 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeometryBitWidths(t *testing.T) {
+	g := paperGeometry(t)
+	// Table I map: 13 row bits, 4 bank bits (3+1), 6 column bits (3+3),
+	// 5 channel bits, 5 offset bits.
+	if g.rowBits != 13 {
+		t.Errorf("row bits = %d, want 13", g.rowBits)
+	}
+	if g.bankHighBits+g.bankLowBits != 4 {
+		t.Errorf("bank bits = %d, want 4", g.bankHighBits+g.bankLowBits)
+	}
+	if g.colHighBits+g.colLowBits != 6 {
+		t.Errorf("column bits = %d, want 6", g.colHighBits+g.colLowBits)
+	}
+	if g.channelBits != 5 {
+		t.Errorf("channel bits = %d, want 5", g.channelBits)
+	}
+	if g.offsetBits != 5 {
+		t.Errorf("offset bits = %d, want 5", g.offsetBits)
+	}
+}
+
+func TestGeometrySizes(t *testing.T) {
+	g := paperGeometry(t)
+	if got := g.RowBytes(); got != 2048 {
+		t.Errorf("row bytes = %d, want 2048 (64 cols x 32 B)", got)
+	}
+	// 32 channels x 16 banks x 8192 rows x 2 KB = 8 GiB.
+	if got := g.TotalBytes(); got != 8<<30 {
+		t.Errorf("total bytes = %d, want %d", got, uint64(8<<30))
+	}
+}
+
+func TestGeometryRejectsNonPowerOfTwo(t *testing.T) {
+	cases := [][5]int{
+		{31, 16, 8192, 64, 32},
+		{32, 15, 8192, 64, 32},
+		{32, 16, 8191, 64, 32},
+		{32, 16, 8192, 63, 32},
+		{32, 16, 8192, 64, 33},
+		{0, 16, 8192, 64, 32},
+	}
+	for _, c := range cases {
+		if _, err := NewGeometry(c[0], c[1], c[2], c[3], c[4]); err == nil {
+			t.Errorf("NewGeometry(%v) accepted invalid dimensions", c)
+		}
+	}
+}
+
+func TestInterleavedRoundTrip(t *testing.T) {
+	g := paperGeometry(t)
+	m := NewInterleaved(g)
+	f := func(raw uint64) bool {
+		addr := (raw % g.TotalBytes()) &^ uint64(g.AccessBytes-1)
+		c := m.Decode(addr)
+		if c.Channel < 0 || c.Channel >= g.Channels ||
+			c.Bank < 0 || c.Bank >= g.Banks ||
+			int(c.Row) >= g.Rows || int(c.Col) >= g.Columns {
+			return false
+		}
+		return m.Encode(c) == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedEncodeDecodeRoundTrip(t *testing.T) {
+	g := paperGeometry(t)
+	m := NewInterleaved(g)
+	f := func(ch, bank, row, col uint16) bool {
+		c := Coord{
+			Channel: int(ch) % g.Channels,
+			Bank:    int(bank) % g.Banks,
+			Row:     uint32(int(row) % g.Rows),
+			Col:     uint32(int(col) % g.Columns),
+		}
+		return m.Decode(m.Encode(c)) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedSequentialStride(t *testing.T) {
+	g := paperGeometry(t)
+	m := NewInterleaved(g)
+	// Consecutive 32 B accesses walk the 3 low column bits first (8
+	// accesses in the same channel/row), then move to the next channel.
+	base := m.Decode(0)
+	for i := 1; i < 8; i++ {
+		c := m.Decode(uint64(i * 32))
+		if c.Channel != base.Channel || c.Row != base.Row || c.Bank != base.Bank {
+			t.Fatalf("access %d left the row: %+v vs %+v", i, c, base)
+		}
+		if c.Col != uint32(i) {
+			t.Fatalf("access %d column = %d, want %d", i, c.Col, i)
+		}
+	}
+	c := m.Decode(8 * 32)
+	if c.Channel != base.Channel+1 {
+		t.Errorf("9th access channel = %d, want %d (channel interleave)", c.Channel, base.Channel+1)
+	}
+}
+
+func TestInterleavedChannelCoverage(t *testing.T) {
+	g := paperGeometry(t)
+	m := NewInterleaved(g)
+	seen := make(map[int]bool)
+	for i := 0; i < 8*g.Channels; i++ {
+		seen[m.Decode(uint64(i*32)).Channel] = true
+	}
+	if len(seen) != g.Channels {
+		t.Errorf("sequential sweep touched %d channels, want %d", len(seen), g.Channels)
+	}
+}
+
+func TestIPolyRoundTripAndSpread(t *testing.T) {
+	g := paperGeometry(t)
+	m := NewIPoly(g)
+	f := func(ch, bank, row, col uint16) bool {
+		c := Coord{
+			Channel: int(ch) % g.Channels,
+			Bank:    int(bank) % g.Banks,
+			Row:     uint32(int(row) % g.Rows),
+			Col:     uint32(int(col) % g.Columns),
+		}
+		return m.Decode(m.Encode(c)) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// A large power-of-two stride maps all accesses to one channel under
+	// the regular map; the hashed map must spread them.
+	reg := NewInterleaved(g)
+	stride := uint64(1) << 20
+	regSeen, polySeen := map[int]bool{}, map[int]bool{}
+	for i := 0; i < 64; i++ {
+		regSeen[reg.Decode(uint64(i)*stride).Channel] = true
+		polySeen[m.Decode(uint64(i)*stride).Channel] = true
+	}
+	if len(polySeen) <= len(regSeen) {
+		t.Errorf("I-poly spread %d channels, regular %d; want hashed > regular", len(polySeen), len(regSeen))
+	}
+}
+
+func TestDecodeDifferentAddressesDiffer(t *testing.T) {
+	g := paperGeometry(t)
+	m := NewInterleaved(g)
+	a := m.Decode(0)
+	b := m.Decode(32)
+	if a == b {
+		t.Error("distinct aligned addresses decoded to the same coordinate")
+	}
+}

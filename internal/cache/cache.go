@@ -1,0 +1,239 @@
+// Package cache implements the per-channel L2 slice. MEM requests are
+// filtered by the slice (hits complete locally; misses are fetched from
+// DRAM through MSHRs with same-line merging); PIM requests never enter the
+// cache — they are cache-streaming stores that bypass all caches and are
+// forwarded straight to the memory controller (Sec. III-A).
+//
+// The slice is set-associative with LRU replacement and write-back,
+// write-allocate semantics: dirty victims generate writeback requests that
+// add to the channel's DRAM write traffic.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/request"
+)
+
+// AccessResult classifies the outcome of presenting a request to the
+// slice.
+type AccessResult int
+
+const (
+	// Hit means the line was present; the request completes after the
+	// hit latency with no DRAM traffic.
+	Hit AccessResult = iota
+	// Miss means the request was forwarded to DRAM (and possibly a
+	// dirty victim writeback alongside it).
+	Miss
+	// Merged means the line is already being fetched; the request
+	// piggybacks on the existing MSHR and completes at fill time.
+	Merged
+	// Blocked means the slice cannot take the request this cycle (MSHRs
+	// exhausted, the set fully pending, or insufficient downstream
+	// queue space); the caller must retry later. Blocked intake is the
+	// backpressure that propagates into the interconnect.
+	Blocked
+)
+
+// String names the result.
+func (r AccessResult) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Merged:
+		return "merged"
+	case Blocked:
+		return "blocked"
+	}
+	return fmt.Sprintf("AccessResult(%d)", int(r))
+}
+
+type line struct {
+	tag      uint64
+	valid    bool // filled and usable
+	pending  bool // allocated, fetch in flight
+	dirty    bool
+	lastUsed uint64
+}
+
+type mshr struct {
+	lineAddr uint64
+	primary  *request.Request
+	merged   []*request.Request
+	dirty    bool // a merged store will mark the line dirty at fill
+}
+
+// Slice is one channel's L2 slice.
+type Slice struct {
+	cfg      config.Cache
+	sets     int
+	ways     int
+	lineMask uint64
+	lines    [][]line
+	mshrs    map[uint64]*mshr
+	mshrCap  int
+	useClock uint64
+
+	// Hits, Misses, MergedCount and Writebacks are aggregate counters.
+	Hits, Misses, MergedCount, Writebacks uint64
+}
+
+// NewSlice builds a slice of sliceBytes capacity.
+func NewSlice(cfg config.Cache, sliceBytes int) *Slice {
+	ways := cfg.Ways
+	setBytes := cfg.LineBytes * ways
+	sets := sliceBytes / setBytes
+	if sets < 1 {
+		sets = 1
+	}
+	s := &Slice{
+		cfg:      cfg,
+		sets:     sets,
+		ways:     ways,
+		lineMask: ^uint64(cfg.LineBytes - 1),
+		lines:    make([][]line, sets),
+		mshrs:    make(map[uint64]*mshr, cfg.MSHRs),
+		mshrCap:  cfg.MSHRs,
+	}
+	for i := range s.lines {
+		s.lines[i] = make([]line, ways)
+	}
+	return s
+}
+
+// Sets returns the number of sets in the slice.
+func (s *Slice) Sets() int { return s.sets }
+
+// MSHRsInUse returns the number of outstanding fetches.
+func (s *Slice) MSHRsInUse() int { return len(s.mshrs) }
+
+func (s *Slice) lineAddr(addr uint64) uint64 { return addr & s.lineMask }
+
+func (s *Slice) setOf(lineAddr uint64) int {
+	return int((lineAddr / uint64(s.cfg.LineBytes)) % uint64(s.sets))
+}
+
+func (s *Slice) find(lineAddr uint64) *line {
+	set := s.lines[s.setOf(lineAddr)]
+	for i := range set {
+		if set[i].tag == lineAddr && (set[i].valid || set[i].pending) {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Access presents a MEM request to the slice. downstreamSpace is the free
+// capacity of the L2->DRAM queue's MEM virtual channel; a miss needs one
+// slot for the fetch and, when it evicts a dirty victim, a second for the
+// writeback. On Miss, forwards holds the requests to push downstream (the
+// original request first, then an optional synthetic writeback).
+func (s *Slice) Access(r *request.Request, downstreamSpace int) (res AccessResult, forwards []*request.Request) {
+	if r.Kind == request.PIMOp {
+		panic("cache: PIM request presented to L2 slice")
+	}
+	la := s.lineAddr(r.Addr)
+	s.useClock++
+
+	if ln := s.find(la); ln != nil {
+		if ln.valid {
+			ln.lastUsed = s.useClock
+			if r.Kind == request.MemWrite {
+				ln.dirty = true
+			}
+			s.Hits++
+			return Hit, nil
+		}
+		// Pending: merge into the MSHR.
+		m := s.mshrs[la]
+		if m == nil {
+			panic("cache: pending line without MSHR")
+		}
+		m.merged = append(m.merged, r)
+		if r.Kind == request.MemWrite {
+			m.dirty = true
+		}
+		s.MergedCount++
+		return Merged, nil
+	}
+
+	// Miss path.
+	if len(s.mshrs) >= s.mshrCap {
+		return Blocked, nil
+	}
+	set := s.lines[s.setOf(la)]
+	victim := -1
+	for i := range set {
+		if set[i].pending {
+			continue
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if victim < 0 || set[i].lastUsed < set[victim].lastUsed {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		return Blocked, nil // whole set pending
+	}
+	need := 1
+	evictDirty := set[victim].valid && set[victim].dirty
+	if evictDirty {
+		need = 2
+	}
+	if downstreamSpace < need {
+		return Blocked, nil
+	}
+	if evictDirty {
+		wb := &request.Request{
+			Kind:      request.MemWrite,
+			Addr:      set[victim].tag,
+			SM:        r.SM,
+			App:       r.App,
+			Synthetic: true,
+		}
+		forwards = append(forwards, wb)
+		s.Writebacks++
+	}
+	set[victim] = line{tag: la, pending: true, lastUsed: s.useClock}
+	s.mshrs[la] = &mshr{
+		lineAddr: la,
+		primary:  r,
+		dirty:    r.Kind == request.MemWrite,
+	}
+	s.Misses++
+	// The primary fetch goes downstream as a read regardless of the
+	// request kind (write-allocate fetches the line first).
+	forwards = append([]*request.Request{r}, forwards...)
+	return Miss, forwards
+}
+
+// Fill completes the fetch for the primary request r: the line becomes
+// valid (dirty if any merged store touched it) and every request that
+// waited on the MSHR — the primary plus merges — is returned for response
+// delivery. Fill panics if r does not correspond to an outstanding fetch.
+func (s *Slice) Fill(r *request.Request) (completed []*request.Request) {
+	la := s.lineAddr(r.Addr)
+	m := s.mshrs[la]
+	if m == nil || m.primary != r {
+		panic(fmt.Sprintf("cache: fill for unknown fetch %v", r))
+	}
+	delete(s.mshrs, la)
+	ln := s.find(la)
+	if ln == nil || !ln.pending {
+		panic("cache: fill without pending line")
+	}
+	ln.pending = false
+	ln.valid = true
+	ln.dirty = m.dirty
+	ln.lastUsed = s.useClock
+	completed = append(completed, m.primary)
+	completed = append(completed, m.merged...)
+	return completed
+}

@@ -1,0 +1,252 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/request"
+)
+
+var cid uint64
+
+func rd(addr uint64) *request.Request {
+	cid++
+	return &request.Request{ID: cid, Kind: request.MemRead, Addr: addr}
+}
+
+func wr(addr uint64) *request.Request {
+	cid++
+	return &request.Request{ID: cid, Kind: request.MemWrite, Addr: addr}
+}
+
+func newSlice() *Slice {
+	cfg := config.Paper().Cache
+	return NewSlice(cfg, 192<<10) // one paper slice: 6 MB / 32 channels
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	s := newSlice()
+	r := rd(0x1000)
+	res, fw := s.Access(r, 10)
+	if res != Miss {
+		t.Fatalf("cold access = %v, want miss", res)
+	}
+	if len(fw) != 1 || fw[0] != r {
+		t.Fatalf("forwards = %v", fw)
+	}
+	if got := s.Fill(r); len(got) != 1 || got[0] != r {
+		t.Fatalf("fill completed %v", got)
+	}
+	if res, _ := s.Access(rd(0x1000), 10); res != Hit {
+		t.Errorf("second access = %v, want hit", res)
+	}
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", s.Hits, s.Misses)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	s := newSlice()
+	a, b, c := rd(0x2000), rd(0x2000), rd(0x2008) // same 32 B line
+	if res, _ := s.Access(a, 10); res != Miss {
+		t.Fatal("first access should miss")
+	}
+	if res, _ := s.Access(b, 10); res != Merged {
+		t.Error("same-line access did not merge")
+	}
+	if res, _ := s.Access(c, 10); res != Merged {
+		t.Error("same-line different-offset access did not merge")
+	}
+	done := s.Fill(a)
+	if len(done) != 3 {
+		t.Fatalf("fill released %d, want 3", len(done))
+	}
+	if s.MSHRsInUse() != 0 {
+		t.Error("MSHR leaked")
+	}
+}
+
+func TestMSHRCapacityBlocks(t *testing.T) {
+	cfg := config.Paper().Cache
+	cfg.MSHRs = 2
+	s := NewSlice(cfg, 192<<10)
+	s.Access(rd(0x0), 10)
+	s.Access(rd(0x10000), 10)
+	if res, _ := s.Access(rd(0x20000), 10); res != Blocked {
+		t.Errorf("access with full MSHRs = %v, want blocked", res)
+	}
+}
+
+func TestDownstreamSpaceBlocks(t *testing.T) {
+	s := newSlice()
+	if res, _ := s.Access(rd(0x0), 0); res != Blocked {
+		t.Errorf("miss with no downstream space = %v, want blocked", res)
+	}
+	// Still serviceable later.
+	if res, _ := s.Access(rd(0x0), 1); res != Miss {
+		t.Error("retry after space freed did not miss-allocate")
+	}
+}
+
+func TestWriteAllocateAndDirtyWriteback(t *testing.T) {
+	s := newSlice()
+	w := wr(0x3000)
+	res, fw := s.Access(w, 10)
+	if res != Miss || len(fw) != 1 {
+		t.Fatalf("store miss: res=%v forwards=%d", res, len(fw))
+	}
+	s.Fill(w)
+	// Evict the dirty line by filling the set: same set = same index
+	// bits. Set count is 384; stride by lineBytes*sets to stay in set.
+	setStride := uint64(32 * s.Sets())
+	evictions := 0
+	for i := 1; i <= 16; i++ {
+		r := rd(0x3000 + uint64(i)*setStride)
+		res, fw := s.Access(r, 10)
+		if res != Miss {
+			t.Fatalf("fill-set access %d = %v", i, res)
+		}
+		for _, f := range fw {
+			if f.Synthetic {
+				evictions++
+				if f.Kind != request.MemWrite {
+					t.Error("writeback is not a write")
+				}
+				if f.Addr != 0x3000 {
+					t.Errorf("writeback addr %#x, want 0x3000", f.Addr)
+				}
+			}
+		}
+		s.Fill(r)
+	}
+	if evictions != 1 {
+		t.Errorf("dirty evictions = %d, want exactly 1", evictions)
+	}
+	if s.Writebacks != 1 {
+		t.Errorf("writeback counter = %d", s.Writebacks)
+	}
+}
+
+func TestWritebackNeedsTwoDownstreamSlots(t *testing.T) {
+	s := newSlice()
+	w := wr(0x4000)
+	s.Access(w, 10)
+	s.Fill(w)
+	setStride := uint64(32 * s.Sets())
+	// Fill the set so the dirty line is the LRU victim.
+	for i := 1; i < 16; i++ {
+		r := rd(0x4000 + uint64(i)*setStride)
+		s.Access(r, 10)
+		s.Fill(r)
+	}
+	// Touch the dirty line is NOT needed; next miss evicts LRU = 0x4000.
+	victim := rd(0x4000 + 16*setStride)
+	if res, _ := s.Access(victim, 1); res != Blocked {
+		t.Error("miss with dirty eviction accepted with 1 downstream slot")
+	}
+	if res, fw := s.Access(victim, 2); res != Miss || len(fw) != 2 {
+		t.Errorf("miss with dirty eviction: res=%v forwards=%d, want miss/2", res, len(fw))
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	s := newSlice()
+	setStride := uint64(32 * s.Sets())
+	// Fill a set with 16 lines; touch line 0 again; allocate a 17th:
+	// the victim must not be line 0.
+	var lines []*request.Request
+	for i := 0; i < 16; i++ {
+		r := rd(uint64(i) * setStride)
+		s.Access(r, 10)
+		s.Fill(r)
+		lines = append(lines, r)
+	}
+	if res, _ := s.Access(rd(0), 10); res != Hit {
+		t.Fatal("line 0 should hit")
+	}
+	n := rd(16 * setStride)
+	s.Access(n, 10)
+	s.Fill(n)
+	if res, _ := s.Access(rd(0), 10); res != Hit {
+		t.Error("LRU evicted the most-recently-used line")
+	}
+	if res, _ := s.Access(rd(1*setStride), 10); res != Miss {
+		t.Error("LRU kept the least-recently-used line")
+	}
+}
+
+func TestPIMRequestPanics(t *testing.T) {
+	s := newSlice()
+	defer func() {
+		if recover() == nil {
+			t.Error("PIM request accepted by the L2 (must bypass)")
+		}
+	}()
+	cid++
+	s.Access(&request.Request{ID: cid, Kind: request.PIMOp}, 10)
+}
+
+func TestFillUnknownPanics(t *testing.T) {
+	s := newSlice()
+	defer func() {
+		if recover() == nil {
+			t.Error("fill for unknown fetch accepted")
+		}
+	}()
+	s.Fill(rd(0x5000))
+}
+
+// TestRandomizedCoherence drives the slice with a random mix and checks
+// the accounting invariants: every miss eventually fills, MSHRs drain,
+// hits+misses+merged = accesses.
+func TestRandomizedCoherence(t *testing.T) {
+	s := newSlice()
+	rng := rand.New(rand.NewSource(11))
+	outstanding := map[*request.Request]bool{}
+	var accesses, hits, misses, merged uint64
+	for i := 0; i < 20000; i++ {
+		addr := uint64(rng.Intn(1<<22)) &^ 31
+		var r *request.Request
+		if rng.Intn(4) == 0 {
+			r = wr(addr)
+		} else {
+			r = rd(addr)
+		}
+		res, fw := s.Access(r, 1000)
+		accesses++
+		switch res {
+		case Hit:
+			hits++
+		case Miss:
+			misses++
+			outstanding[fw[0]] = true
+		case Merged:
+			merged++
+		case Blocked:
+			accesses--
+		}
+		// Randomly fill an outstanding fetch.
+		if len(outstanding) > 0 && rng.Intn(3) == 0 {
+			for p := range outstanding {
+				s.Fill(p)
+				delete(outstanding, p)
+				break
+			}
+		}
+	}
+	for p := range outstanding {
+		s.Fill(p)
+		delete(outstanding, p)
+	}
+	if s.MSHRsInUse() != 0 {
+		t.Errorf("MSHRs leaked: %d", s.MSHRsInUse())
+	}
+	if s.Hits != hits || s.Misses != misses || s.MergedCount != merged {
+		t.Errorf("counter mismatch: %d/%d/%d vs %d/%d/%d",
+			s.Hits, s.Misses, s.MergedCount, hits, misses, merged)
+	}
+	if hits+misses+merged != accesses {
+		t.Errorf("accesses %d != hits %d + misses %d + merged %d", accesses, hits, misses, merged)
+	}
+}

@@ -1,0 +1,623 @@
+// Package dram implements a cycle-level HBM channel timing model with the
+// Table I parameters: per-bank state machines with row buffers, bank-group
+// aware column-to-column spacing (tCCDs/tCCDl), activate windows (tRRD),
+// core timing (tRCD/tRP/tRAS), read/write turnaround (tCL/tWL/tWR/tRTP),
+// and a shared data bus sized by the bus width and burst length.
+//
+// The package also models the all-bank lockstep command sequences used in
+// PIM mode: broadcast precharge, broadcast activate, and the lockstep PIM
+// operation that occupies every bank of the channel (Sec. II-A). Broadcast
+// activation intentionally bypasses tRRD — PIM mode exists precisely to
+// provide the command bandwidth that per-bank interfaces lack.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// BankState enumerates the row-buffer state of a bank.
+type BankState uint8
+
+const (
+	// Closed means no row is latched; an activate is required.
+	Closed BankState = iota
+	// Open means a row is latched in the row buffer.
+	Open
+)
+
+// String returns "closed" or "open".
+func (s BankState) String() string {
+	if s == Open {
+		return "open"
+	}
+	return "closed"
+}
+
+// bank is the per-bank timing state.
+type bank struct {
+	state   BankState
+	openRow uint32
+
+	// openedByPIM marks that the current row-buffer state (open row or
+	// closure) was last changed by a PIM-mode broadcast command. A
+	// subsequent MEM row miss on such a bank is an "additional MEM
+	// conflict" attributable to mode switching (Fig. 10b).
+	openedByPIM bool
+
+	actReadyAt uint64 // earliest cycle an ACT may issue (tRP after PRE)
+	colReadyAt uint64 // earliest cycle a column command may issue (tRCD after ACT)
+	preReadyAt uint64 // earliest cycle a PRE may issue (tRAS/tRTP/tWR)
+	busyUntil  uint64 // bank occupied (for BLP accounting and drain)
+}
+
+// Channel is one HBM channel: a set of banks behind one command bus and
+// one data bus, plus the PIM functional units' lockstep timing.
+type Channel struct {
+	cfg   config.Memory
+	pim   config.PIM
+	banks []bank
+
+	lastActAt    uint64    // channel-wide, for tRRD (MEM mode only)
+	actWindow    [4]uint64 // rolling ACT timestamps for tFAW (oldest overwritten)
+	actWindowIdx int
+	lastColAt    uint64 // channel-wide last column command cycle
+	lastColGroup int    // bank group of that command
+	haveLastCol  bool
+	busBusyUntil uint64 // data bus reserved through this cycle (exclusive)
+
+	lastWriteDataEnd uint64 // for tWTR (write-to-read turnaround)
+	lastReadCmdAt    uint64 // for tRTW (read-to-write turnaround)
+	haveRead         bool
+
+	pimBusyUntil uint64 // lockstep op in progress through this cycle
+
+	// Dual-row-buffer state (config.PIM.DualRowBuffer): PIM's own
+	// channel-level row buffer, so broadcast commands leave the banks'
+	// MEM row buffers intact. Lockstep execution means one row index
+	// covers every bank.
+	dualPIMOpen       bool
+	dualPIMRow        uint32
+	dualPIMColReady   uint64
+	dualPIMPreReady   uint64
+	dualPIMActReadyAt uint64
+
+	nextRefreshAt uint64 // next REFab deadline (0 = refresh disabled)
+
+	st *stats.Channel
+}
+
+// NewChannel builds a channel with all banks closed at cycle 0. The stats
+// pointer may be nil when measurements are not needed.
+func NewChannel(mem config.Memory, pim config.PIM, st *stats.Channel) *Channel {
+	c := &Channel{
+		cfg:   mem,
+		pim:   pim,
+		banks: make([]bank, mem.Banks),
+		st:    st,
+	}
+	if mem.Timing.TREFI > 0 {
+		c.nextRefreshAt = uint64(mem.Timing.TREFI)
+	}
+	return c
+}
+
+// Banks returns the number of banks in the channel.
+func (c *Channel) Banks() int { return len(c.banks) }
+
+// burstCycles returns the data-bus occupancy of one access in DRAM cycles
+// (BL/2 for a double-data-rate bus, minimum 1).
+func (c *Channel) burstCycles() uint64 {
+	b := uint64(c.cfg.BurstLength / 2)
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+func (c *Channel) group(bankIdx int) int {
+	perGroup := c.cfg.Banks / c.cfg.BankGroups
+	return bankIdx / perGroup
+}
+
+// Tick performs per-cycle accounting; call once per DRAM cycle before
+// issuing commands for that cycle.
+func (c *Channel) Tick(now uint64) {
+	if c.st == nil {
+		return
+	}
+	busy := 0
+	for i := range c.banks {
+		if c.banks[i].busyUntil > now {
+			busy++
+		}
+	}
+	if busy > 0 {
+		c.st.ActiveCycles++
+		c.st.BankBusySum += uint64(busy)
+	}
+}
+
+// State returns the row-buffer state of a bank: whether a row is open and
+// which.
+func (c *Channel) State(bankIdx int) (state BankState, row uint32) {
+	b := &c.banks[bankIdx]
+	return b.state, b.openRow
+}
+
+// IsRowHit reports whether a column access to (bank,row) would hit the open
+// row buffer right now.
+func (c *Channel) IsRowHit(bankIdx int, row uint32) bool {
+	b := &c.banks[bankIdx]
+	return b.state == Open && b.openRow == row
+}
+
+// --- MEM-mode commands -------------------------------------------------
+
+// CanActivate reports whether an ACT to bankIdx may issue at cycle now.
+func (c *Channel) CanActivate(bankIdx int, now uint64) bool {
+	b := &c.banks[bankIdx]
+	if b.state != Closed {
+		return false
+	}
+	if now < b.actReadyAt {
+		return false
+	}
+	// tRRD: channel-wide activate spacing in MEM mode.
+	if c.lastActAt != 0 && now < c.lastActAt+uint64(c.cfg.Timing.TRRD) {
+		return false
+	}
+	// tFAW (supplemental): the fourth-previous activate must be at
+	// least tFAW cycles back.
+	if f := c.cfg.Timing.TFAW; f > 0 {
+		oldest := c.actWindow[c.actWindowIdx]
+		if oldest != 0 && now < oldest+uint64(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// Activate opens row in bankIdx. The caller must have checked CanActivate.
+func (c *Channel) Activate(bankIdx int, row uint32, now uint64) {
+	b := &c.banks[bankIdx]
+	if !c.CanActivate(bankIdx, now) {
+		panic(fmt.Sprintf("dram: illegal ACT bank %d at %d", bankIdx, now))
+	}
+	t := c.cfg.Timing
+	b.state = Open
+	b.openRow = row
+	b.openedByPIM = false
+	b.colReadyAt = now + uint64(t.TRCD)
+	b.preReadyAt = now + uint64(t.TRAS)
+	if b.busyUntil < now+uint64(t.TRCD) {
+		b.busyUntil = now + uint64(t.TRCD)
+	}
+	c.lastActAt = now
+	if t.TFAW > 0 {
+		c.actWindow[c.actWindowIdx] = now
+		c.actWindowIdx = (c.actWindowIdx + 1) % len(c.actWindow)
+	}
+}
+
+// CanPrecharge reports whether a PRE to bankIdx may issue at cycle now.
+func (c *Channel) CanPrecharge(bankIdx int, now uint64) bool {
+	b := &c.banks[bankIdx]
+	return b.state == Open && now >= b.preReadyAt
+}
+
+// Precharge closes the open row of bankIdx.
+func (c *Channel) Precharge(bankIdx int, now uint64) {
+	b := &c.banks[bankIdx]
+	if !c.CanPrecharge(bankIdx, now) {
+		panic(fmt.Sprintf("dram: illegal PRE bank %d at %d", bankIdx, now))
+	}
+	b.state = Closed
+	b.openedByPIM = false
+	b.actReadyAt = now + uint64(c.cfg.Timing.TRP)
+	if b.busyUntil < b.actReadyAt {
+		b.busyUntil = b.actReadyAt
+	}
+}
+
+// CanColumn reports whether a read/write column command for row on bankIdx
+// may issue at cycle now: the row must be open and tRCD, tCCD and the data
+// bus must all be satisfied.
+func (c *Channel) CanColumn(bankIdx int, row uint32, write bool, now uint64) bool {
+	b := &c.banks[bankIdx]
+	if b.state != Open || b.openRow != row {
+		return false
+	}
+	if now < b.colReadyAt {
+		return false
+	}
+	if !c.ccdOK(bankIdx, now) {
+		return false
+	}
+	if !c.turnaroundOK(write, now) {
+		return false
+	}
+	return c.busFreeFor(write, now)
+}
+
+func (c *Channel) ccdOK(bankIdx int, now uint64) bool {
+	if !c.haveLastCol {
+		return true
+	}
+	t := c.cfg.Timing
+	gap := uint64(t.TCCDS)
+	if c.group(bankIdx) == c.lastColGroup {
+		gap = uint64(t.TCCDL)
+	}
+	return now >= c.lastColAt+gap
+}
+
+// turnaroundOK enforces the supplemental write-to-read (tWTR) and
+// read-to-write (tRTW) bus turnaround constraints when configured.
+func (c *Channel) turnaroundOK(write bool, now uint64) bool {
+	t := c.cfg.Timing
+	if !write && t.TWTR > 0 && c.lastWriteDataEnd > 0 && now < c.lastWriteDataEnd+uint64(t.TWTR) {
+		return false
+	}
+	if write && t.TRTW > 0 && c.haveRead && now < c.lastReadCmdAt+uint64(t.TRTW) {
+		return false
+	}
+	return true
+}
+
+func (c *Channel) busFreeFor(write bool, now uint64) bool {
+	start := now + c.dataDelay(write)
+	return start >= c.busBusyUntil
+}
+
+func (c *Channel) dataDelay(write bool) uint64 {
+	if write {
+		return uint64(c.cfg.Timing.TWL)
+	}
+	return uint64(c.cfg.Timing.TCL)
+}
+
+// Column issues a read or write to the open row of bankIdx and returns the
+// DRAM cycle at which the request completes (data returned for reads;
+// write-recovery finished for writes, since a bank and the mode-switch
+// drain are both held until tWR elapses).
+func (c *Channel) Column(bankIdx int, row uint32, write bool, now uint64) (doneAt uint64) {
+	if !c.CanColumn(bankIdx, row, write, now) {
+		panic(fmt.Sprintf("dram: illegal column bank %d row %d at %d", bankIdx, row, now))
+	}
+	t := c.cfg.Timing
+	b := &c.banks[bankIdx]
+	burst := c.burstCycles()
+	dataStart := now + c.dataDelay(write)
+	dataEnd := dataStart + burst
+	c.busBusyUntil = dataEnd
+	c.lastColAt = now
+	c.lastColGroup = c.group(bankIdx)
+	c.haveLastCol = true
+
+	if write {
+		doneAt = dataEnd + uint64(t.TWR)
+		if b.preReadyAt < doneAt {
+			b.preReadyAt = doneAt
+		}
+		c.lastWriteDataEnd = dataEnd
+	} else {
+		doneAt = dataEnd
+		if rtp := now + uint64(t.TRTP); b.preReadyAt < rtp {
+			b.preReadyAt = rtp
+		}
+		c.lastReadCmdAt = now
+		c.haveRead = true
+	}
+	if b.busyUntil < doneAt {
+		b.busyUntil = doneAt
+	}
+	if c.st != nil {
+		if write {
+			c.st.MemWrites++
+		} else {
+			c.st.MemReads++
+		}
+	}
+	b.openedByPIM = false
+	return doneAt
+}
+
+// ColumnAP issues a column access with auto-precharge (the closed-page
+// extension): the row closes as soon as its recovery window (tRTP for
+// reads, write recovery for writes) elapses, and the bank may activate
+// again tRP later. Completion semantics match Column.
+func (c *Channel) ColumnAP(bankIdx int, row uint32, write bool, now uint64) (doneAt uint64) {
+	doneAt = c.Column(bankIdx, row, write, now)
+	b := &c.banks[bankIdx]
+	// preReadyAt was just advanced to the recovery point by Column;
+	// the auto-precharge fires there.
+	b.state = Closed
+	b.actReadyAt = b.preReadyAt + uint64(c.cfg.Timing.TRP)
+	if b.busyUntil < b.actReadyAt {
+		b.busyUntil = b.actReadyAt
+	}
+	return doneAt
+}
+
+// NoteRowHit records that a MEM request was classified as a row-buffer hit
+// when the scheduler first serviced it. The scheduler calls exactly one of
+// NoteRowHit/NoteRowMiss per MEM request.
+func (c *Channel) NoteRowHit() {
+	if c.st != nil {
+		c.st.RowHits++
+	}
+}
+
+// NoteRowMiss records that a MEM request experienced a row miss on bankIdx
+// (the scheduler observed a conflict or a closed row and will
+// precharge/activate). It classifies the miss as a post-switch conflict
+// when the bank's row-buffer state was last changed in PIM mode
+// (Fig. 10b's "additional MEM conflicts"). The scheduler must call this
+// exactly once per MEM request that misses.
+func (c *Channel) NoteRowMiss(bankIdx int) {
+	if c.st == nil {
+		return
+	}
+	c.st.RowMisses++
+	if c.banks[bankIdx].openedByPIM {
+		c.st.PostSwitchConflicts++
+	}
+}
+
+// --- PIM-mode broadcast commands ----------------------------------------
+
+// PIMRowOpen reports whether the lockstep row is open for PIM execution:
+// every bank holds row (shared buffer), or the dedicated PIM buffer holds
+// it (dual-row-buffer extension).
+func (c *Channel) PIMRowOpen(row uint32) bool {
+	if c.pim.DualRowBuffer {
+		return c.dualPIMOpen && c.dualPIMRow == row
+	}
+	for i := range c.banks {
+		if c.banks[i].state != Open || c.banks[i].openRow != row {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyBankOpen reports whether at least one bank has an open row.
+func (c *Channel) AnyBankOpen() bool {
+	for i := range c.banks {
+		if c.banks[i].state == Open {
+			return true
+		}
+	}
+	return false
+}
+
+// NeedsPIMPrecharge reports whether a broadcast precharge must happen
+// before a PIM activate: the PIM-visible row buffer(s) hold some row.
+func (c *Channel) NeedsPIMPrecharge() bool {
+	if c.pim.DualRowBuffer {
+		return c.dualPIMOpen
+	}
+	return c.AnyBankOpen()
+}
+
+// CanPrechargeAllBanks reports whether every open bank has satisfied its
+// tRAS/tRTP/tWR window (used by the refresh flow, which always targets
+// the banks).
+func (c *Channel) CanPrechargeAllBanks(now uint64) bool {
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.state == Open && now < b.preReadyAt {
+			return false
+		}
+	}
+	return true
+}
+
+// CanPIMPrechargeAll reports whether a PIM broadcast precharge may issue:
+// every open bank must have satisfied its tRAS/tRTP/tWR window (the
+// dedicated PIM buffer tracks its own window under the dual-row-buffer
+// extension).
+func (c *Channel) CanPIMPrechargeAll(now uint64) bool {
+	if c.pim.DualRowBuffer {
+		return !c.dualPIMOpen || now >= c.dualPIMPreReady
+	}
+	return c.CanPrechargeAllBanks(now)
+}
+
+// PIMPrechargeAll closes every bank in lockstep, marking the disturbance
+// as PIM-mode activity for the Fig. 10b conflict attribution.
+func (c *Channel) PIMPrechargeAll(now uint64) {
+	c.prechargeAll(now, true)
+}
+
+// RefreshPrechargeAll closes every bank ahead of an all-bank refresh; the
+// disturbance is not attributed to PIM.
+func (c *Channel) RefreshPrechargeAll(now uint64) {
+	c.prechargeAll(now, false)
+}
+
+func (c *Channel) prechargeAll(now uint64, byPIM bool) {
+	if byPIM && c.pim.DualRowBuffer {
+		if !c.CanPIMPrechargeAll(now) {
+			panic(fmt.Sprintf("dram: illegal PIM-buffer PRE at %d", now))
+		}
+		c.dualPIMOpen = false
+		c.dualPIMActReadyAt = now + uint64(c.cfg.Timing.TRP)
+		return
+	}
+	if !c.CanPrechargeAllBanks(now) {
+		panic(fmt.Sprintf("dram: illegal broadcast PRE at %d", now))
+	}
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.state == Open {
+			b.state = Closed
+			b.actReadyAt = now + uint64(c.cfg.Timing.TRP)
+			if b.busyUntil < b.actReadyAt {
+				b.busyUntil = b.actReadyAt
+			}
+		}
+		if byPIM {
+			b.openedByPIM = true
+		}
+	}
+}
+
+// --- refresh (supplemental; disabled when TREFI == 0) ---------------------
+
+// RefreshDue reports whether the channel has crossed its all-bank refresh
+// deadline.
+func (c *Channel) RefreshDue(now uint64) bool {
+	return c.nextRefreshAt > 0 && now >= c.nextRefreshAt
+}
+
+// CanRefresh reports whether the REFab command may issue: every bank must
+// be closed and past its precharge recovery.
+func (c *Channel) CanRefresh(now uint64) bool {
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.state != Closed || now < b.actReadyAt {
+			return false
+		}
+	}
+	return true
+}
+
+// Refresh issues an all-bank refresh: the channel is unavailable for tRFC
+// and the next deadline advances by tREFI.
+func (c *Channel) Refresh(now uint64) {
+	if !c.CanRefresh(now) {
+		panic(fmt.Sprintf("dram: illegal REFab at %d", now))
+	}
+	t := c.cfg.Timing
+	until := now + uint64(t.TRFC)
+	for i := range c.banks {
+		b := &c.banks[i]
+		b.actReadyAt = until
+		if b.busyUntil < until {
+			b.busyUntil = until
+		}
+	}
+	c.nextRefreshAt += uint64(t.TREFI)
+	if c.st != nil {
+		c.st.Refreshes++
+	}
+}
+
+// CanPIMActivateAll reports whether a broadcast activate of row may issue:
+// every bank must be closed and past its tRP window (or, under the
+// dual-row-buffer extension, the dedicated PIM buffer must be closed and
+// recovered — the banks' MEM rows are untouched).
+func (c *Channel) CanPIMActivateAll(now uint64) bool {
+	if c.pim.DualRowBuffer {
+		return !c.dualPIMOpen && now >= c.dualPIMActReadyAt
+	}
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.state != Closed || now < b.actReadyAt {
+			return false
+		}
+	}
+	return true
+}
+
+// PIMActivateAll opens row in every bank in lockstep. Broadcast activation
+// is exempt from tRRD (dedicated PIM-mode command bandwidth).
+func (c *Channel) PIMActivateAll(row uint32, now uint64) {
+	if !c.CanPIMActivateAll(now) {
+		panic(fmt.Sprintf("dram: illegal broadcast ACT at %d", now))
+	}
+	t := c.cfg.Timing
+	if c.pim.DualRowBuffer {
+		c.dualPIMOpen = true
+		c.dualPIMRow = row
+		c.dualPIMColReady = now + uint64(t.TRCD)
+		c.dualPIMPreReady = now + uint64(t.TRAS)
+		return
+	}
+	for i := range c.banks {
+		b := &c.banks[i]
+		b.state = Open
+		b.openRow = row
+		b.openedByPIM = true
+		b.colReadyAt = now + uint64(t.TRCD)
+		b.preReadyAt = now + uint64(t.TRAS)
+		if b.busyUntil < b.colReadyAt {
+			b.busyUntil = b.colReadyAt
+		}
+	}
+}
+
+// CanPIMOp reports whether a lockstep PIM operation on row may issue: all
+// banks open at row (or the PIM buffer open at row under the dual-buffer
+// extension), past tRCD, and no previous lockstep op still in flight.
+func (c *Channel) CanPIMOp(row uint32, now uint64) bool {
+	if now < c.pimBusyUntil {
+		return false
+	}
+	if c.pim.DualRowBuffer {
+		return c.dualPIMOpen && c.dualPIMRow == row && now >= c.dualPIMColReady
+	}
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.state != Open || b.openRow != row || now < b.colReadyAt {
+			return false
+		}
+	}
+	return true
+}
+
+// PIMOp executes one lockstep PIM operation on row across all banks,
+// returning its completion cycle. hit records whether the op found the row
+// already open across all banks when its scheduling began (for the PIM
+// row-locality statistics).
+func (c *Channel) PIMOp(row uint32, hit bool, now uint64) (doneAt uint64) {
+	if !c.CanPIMOp(row, now) {
+		panic(fmt.Sprintf("dram: illegal PIM op row %d at %d", row, now))
+	}
+	doneAt = now + uint64(c.pim.OpCycles)
+	c.pimBusyUntil = doneAt
+	for i := range c.banks {
+		b := &c.banks[i]
+		// Execution occupies the bank arrays regardless of which row
+		// buffer holds the row (MEM/PIM exclusivity is preserved even
+		// under the dual-row-buffer extension).
+		if b.busyUntil < doneAt {
+			b.busyUntil = doneAt
+		}
+		if !c.pim.DualRowBuffer {
+			if rtp := now + uint64(c.cfg.Timing.TRTP); b.preReadyAt < rtp {
+				b.preReadyAt = rtp
+			}
+		}
+	}
+	if c.pim.DualRowBuffer {
+		if rtp := now + uint64(c.cfg.Timing.TRTP); c.dualPIMPreReady < rtp {
+			c.dualPIMPreReady = rtp
+		}
+	}
+	if c.st != nil {
+		c.st.PIMOps++
+		if hit {
+			c.st.PIMRowHits++
+		} else {
+			c.st.PIMRowMisses++
+		}
+	}
+	return doneAt
+}
+
+// BusyBanks returns how many banks are occupied at cycle now (used by
+// tests; the per-cycle statistic is accumulated by Tick).
+func (c *Channel) BusyBanks(now uint64) int {
+	n := 0
+	for i := range c.banks {
+		if c.banks[i].busyUntil > now {
+			n++
+		}
+	}
+	return n
+}

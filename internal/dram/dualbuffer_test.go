@@ -1,0 +1,115 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+func dualChannel(st *stats.Channel) (*Channel, config.DRAMTiming) {
+	cfg := config.Paper()
+	cfg.PIM.DualRowBuffer = true
+	return NewChannel(cfg.Memory, cfg.PIM, st), cfg.Memory.Timing
+}
+
+func TestDualBufferPreservesMEMRows(t *testing.T) {
+	ch, tm := dualChannel(nil)
+	// MEM opens row 5 on bank 0.
+	ch.Activate(0, 5, 0)
+	// PIM opens its own buffer at row 9: the bank's MEM row survives.
+	now := uint64(tm.TRAS)
+	if !ch.CanPIMActivateAll(now) {
+		t.Fatal("PIM-buffer ACT refused with banks open (dual buffer)")
+	}
+	ch.PIMActivateAll(9, now)
+	if state, row := ch.State(0); state != Open || row != 5 {
+		t.Fatalf("bank 0 MEM row disturbed: %v/%d", state, row)
+	}
+	if !ch.PIMRowOpen(9) {
+		t.Fatal("PIM buffer not open at row 9")
+	}
+	// A MEM column to the still-open row 5 works right away.
+	if !ch.CanColumn(0, 5, false, now+uint64(tm.TRCD)) {
+		t.Error("MEM row hit lost despite the dual buffer")
+	}
+}
+
+func TestDualBufferOpsAndRowChanges(t *testing.T) {
+	ch, tm := dualChannel(nil)
+	ch.PIMActivateAll(9, 0)
+	opAt := uint64(tm.TRCD)
+	if !ch.CanPIMOp(9, opAt) {
+		t.Fatal("PIM op refused on open PIM buffer")
+	}
+	done := ch.PIMOp(9, false, opAt)
+	// Block boundary: precharge the PIM buffer, activate row 10.
+	preAt := done + uint64(tm.TRAS) // comfortably past tRAS/tRTP
+	if !ch.NeedsPIMPrecharge() {
+		t.Fatal("open PIM buffer not reported for precharge")
+	}
+	if !ch.CanPIMPrechargeAll(preAt) {
+		t.Fatal("PIM-buffer PRE refused")
+	}
+	ch.PIMPrechargeAll(preAt)
+	actAt := preAt + uint64(tm.TRP)
+	if ch.CanPIMActivateAll(actAt - 1) {
+		t.Error("PIM-buffer ACT allowed before tRP")
+	}
+	ch.PIMActivateAll(10, actAt)
+	if !ch.PIMRowOpen(10) {
+		t.Error("row 10 not open after PIM-buffer row change")
+	}
+}
+
+func TestDualBufferEliminatesPostSwitchConflicts(t *testing.T) {
+	var st stats.Channel
+	ch, tm := dualChannel(&st)
+	ch.Activate(0, 5, 0)
+	// A full PIM phase: buffer opens, executes, changes rows.
+	now := uint64(tm.TRAS)
+	ch.PIMActivateAll(9, now)
+	ch.PIMOp(9, false, now+uint64(tm.TRCD))
+	// Back in MEM mode: row 5 is STILL open; a hit, not a conflict.
+	hitAt := now + uint64(tm.TRCD) + uint64(tm.TCCDL) + 2
+	if !ch.CanColumn(0, 5, false, hitAt) {
+		t.Fatal("MEM row hit unavailable after PIM phase")
+	}
+	// And a genuine MEM miss elsewhere is NOT attributed to PIM.
+	ch.NoteRowMiss(1)
+	if st.PostSwitchConflicts != 0 {
+		t.Errorf("post-switch conflicts = %d with a dual row buffer, want 0", st.PostSwitchConflicts)
+	}
+}
+
+func TestDualBufferStillOccupiesBanksDuringOps(t *testing.T) {
+	// Mode exclusivity is preserved: lockstep execution occupies every
+	// bank even though the row state is separate.
+	ch, tm := dualChannel(nil)
+	ch.PIMActivateAll(9, 0)
+	opAt := uint64(tm.TRCD)
+	ch.PIMOp(9, false, opAt)
+	if got := ch.BusyBanks(opAt); got != 16 {
+		t.Errorf("busy banks during dual-buffer PIM op = %d, want 16", got)
+	}
+}
+
+func TestSharedBufferStillConflictsWithoutDual(t *testing.T) {
+	// Control: without the extension the same sequence destroys the
+	// MEM row and counts a post-switch conflict.
+	var st stats.Channel
+	cfg := config.Paper()
+	ch := NewChannel(cfg.Memory, cfg.PIM, &st)
+	tm := cfg.Memory.Timing
+	ch.Activate(0, 5, 0)
+	now := uint64(tm.TRAS)
+	ch.PIMPrechargeAll(now)
+	ch.PIMActivateAll(9, now+uint64(tm.TRP))
+	if ch.CanColumn(0, 5, false, now+uint64(tm.TRP)+uint64(tm.TRCD)) {
+		t.Fatal("MEM row 5 survived a shared-buffer PIM phase")
+	}
+	ch.NoteRowMiss(0)
+	if st.PostSwitchConflicts != 1 {
+		t.Errorf("post-switch conflicts = %d, want 1 without dual buffer", st.PostSwitchConflicts)
+	}
+}

@@ -1,0 +1,232 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+func refreshChannel(st *stats.Channel) (*Channel, config.DRAMTiming) {
+	cfg := config.Paper()
+	cfg.Memory.Timing.TREFI = 500
+	cfg.Memory.Timing.TRFC = 120
+	return NewChannel(cfg.Memory, cfg.PIM, st), cfg.Memory.Timing
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	ch, _ := newTestChannel(nil)
+	if ch.RefreshDue(1 << 40) {
+		t.Error("refresh due with TREFI == 0 (Table I has no refresh)")
+	}
+}
+
+func TestRefreshDeadlineAndPeriod(t *testing.T) {
+	ch, tm := refreshChannel(nil)
+	if ch.RefreshDue(uint64(tm.TREFI) - 1) {
+		t.Error("refresh due before tREFI")
+	}
+	if !ch.RefreshDue(uint64(tm.TREFI)) {
+		t.Error("refresh not due at tREFI")
+	}
+	ch.Refresh(uint64(tm.TREFI))
+	if ch.RefreshDue(uint64(tm.TREFI) + uint64(tm.TRFC)) {
+		t.Error("refresh due again immediately after REFab")
+	}
+	if !ch.RefreshDue(2 * uint64(tm.TREFI)) {
+		t.Error("second refresh not due at 2*tREFI")
+	}
+}
+
+func TestRefreshRequiresClosedBanks(t *testing.T) {
+	ch, tm := refreshChannel(nil)
+	ch.Activate(0, 7, 0)
+	due := uint64(tm.TREFI)
+	if ch.CanRefresh(due) {
+		t.Fatal("REFab allowed with an open bank")
+	}
+	ch.RefreshPrechargeAll(due)
+	if ch.CanRefresh(due + uint64(tm.TRP) - 1) {
+		t.Error("REFab allowed before precharge recovery")
+	}
+	if !ch.CanRefresh(due + uint64(tm.TRP)) {
+		t.Error("REFab refused after precharge recovery")
+	}
+}
+
+func TestRefreshBlocksActivates(t *testing.T) {
+	var st stats.Channel
+	ch, tm := refreshChannel(&st)
+	at := uint64(tm.TREFI)
+	ch.Refresh(at)
+	if ch.CanActivate(3, at+uint64(tm.TRFC)-1) {
+		t.Error("ACT allowed during tRFC")
+	}
+	if !ch.CanActivate(3, at+uint64(tm.TRFC)) {
+		t.Error("ACT refused after tRFC")
+	}
+	if st.Refreshes != 1 {
+		t.Errorf("refresh count = %d", st.Refreshes)
+	}
+}
+
+func TestRefreshPrechargeDoesNotMarkPIMDisturbance(t *testing.T) {
+	var st stats.Channel
+	ch, tm := refreshChannel(&st)
+	ch.Activate(0, 7, 0)
+	ch.RefreshPrechargeAll(uint64(tm.TRAS))
+	ch.NoteRowMiss(0)
+	if st.PostSwitchConflicts != 0 {
+		t.Error("refresh precharge misattributed as a PIM-mode conflict")
+	}
+}
+
+func TestIllegalRefreshPanics(t *testing.T) {
+	ch, _ := refreshChannel(nil)
+	ch.Activate(0, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("REFab with open bank did not panic")
+		}
+	}()
+	ch.Refresh(100)
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	cfg := config.Paper()
+	cfg.Memory.Timing.TWTR = 4
+	ch := NewChannel(cfg.Memory, cfg.PIM, nil)
+	tm := cfg.Memory.Timing
+	ch.Activate(0, 1, 0)
+	ch.Activate(4, 1, uint64(tm.TRRD))
+	start := uint64(tm.TRCD) + uint64(tm.TRRD)
+	ch.Column(0, 1, true, start) // write data ends at start+tWL+1
+	dataEnd := start + uint64(tm.TWL) + 1
+	if ch.CanColumn(4, 1, false, dataEnd+uint64(tm.TWTR)-1) {
+		t.Error("read allowed before tWTR elapsed")
+	}
+	if !ch.CanColumn(4, 1, false, dataEnd+uint64(tm.TWTR)) {
+		t.Error("read refused after tWTR")
+	}
+}
+
+func TestReadToWriteTurnaround(t *testing.T) {
+	cfg := config.Paper()
+	cfg.Memory.Timing.TRTW = 6
+	ch := NewChannel(cfg.Memory, cfg.PIM, nil)
+	tm := cfg.Memory.Timing
+	ch.Activate(0, 1, 0)
+	ch.Activate(4, 1, uint64(tm.TRRD))
+	start := uint64(tm.TRCD) + uint64(tm.TRRD)
+	ch.Column(0, 1, false, start) // read
+	if ch.CanColumn(4, 1, true, start+uint64(tm.TRTW)-1) {
+		t.Error("write allowed before tRTW elapsed")
+	}
+	if !ch.CanColumn(4, 1, true, start+uint64(tm.TRTW)+20) {
+		t.Error("write refused long after tRTW (bus must be free by then)")
+	}
+}
+
+func TestTurnaroundDisabledByDefault(t *testing.T) {
+	ch, tm := newTestChannel(nil)
+	ch.Activate(0, 1, 0)
+	ch.Activate(4, 1, uint64(tm.TRRD))
+	start := uint64(tm.TRCD) + uint64(tm.TRRD)
+	ch.Column(0, 1, true, start)
+	// With TWTR == 0 only tCCD and the data bus gate the next read.
+	next := start + uint64(tm.TCCDS)
+	for !ch.CanColumn(4, 1, false, next) {
+		next++
+		if next > start+40 {
+			t.Fatal("read never became issuable")
+		}
+	}
+	// The read's data slot must start after the write's data slot ends.
+	writeDataEnd := start + uint64(tm.TWL) + 1
+	readDataStart := next + uint64(tm.TCL)
+	if readDataStart < writeDataEnd {
+		t.Errorf("data bus overlap: read data at %d, write data ends %d", readDataStart, writeDataEnd)
+	}
+}
+
+func TestFourActivateWindow(t *testing.T) {
+	cfg := config.Paper()
+	cfg.Memory.Timing.TFAW = 20
+	ch := NewChannel(cfg.Memory, cfg.PIM, nil)
+	tm := cfg.Memory.Timing
+	// Four activates at the tRRD pace starting at cycle 10.
+	base := uint64(10)
+	for i := 0; i < 4; i++ {
+		at := base + uint64(i*tm.TRRD)
+		if !ch.CanActivate(i, at) {
+			t.Fatalf("ACT %d refused at %d", i, at)
+		}
+		ch.Activate(i, 1, at)
+	}
+	// The fifth activate must wait for the first to leave the window.
+	fifth := base + uint64(4*tm.TRRD) // tRRD satisfied, tFAW not
+	if ch.CanActivate(4, fifth) {
+		t.Error("fifth ACT allowed inside tFAW")
+	}
+	if !ch.CanActivate(4, base+uint64(tm.TFAW)) {
+		t.Error("fifth ACT refused after tFAW elapsed")
+	}
+}
+
+func TestFourActivateWindowDisabledByDefault(t *testing.T) {
+	ch, tm := newTestChannel(nil)
+	for i := 0; i < 6; i++ {
+		at := uint64(10 + i*tm.TRRD)
+		if !ch.CanActivate(i, at) {
+			t.Fatalf("ACT %d refused with tFAW disabled", i)
+		}
+		ch.Activate(i, 1, at)
+	}
+}
+
+func TestFAWExemptsBroadcastActivate(t *testing.T) {
+	cfg := config.Paper()
+	cfg.Memory.Timing.TFAW = 100
+	ch := NewChannel(cfg.Memory, cfg.PIM, nil)
+	// Broadcast PIM ACT opens all 16 banks at once regardless of tFAW
+	// (PIM mode's dedicated command bandwidth).
+	if !ch.CanPIMActivateAll(0) {
+		t.Fatal("broadcast ACT refused")
+	}
+	ch.PIMActivateAll(3, 0)
+	if !ch.PIMRowOpen(3) {
+		t.Error("broadcast ACT did not open all banks")
+	}
+}
+
+func TestClosedPageAutoPrecharge(t *testing.T) {
+	ch, tm := newTestChannel(nil)
+	ch.Activate(0, 5, 0)
+	at := uint64(tm.TRAS) // past tRAS so the auto-PRE can fire at tRTP
+	done := ch.ColumnAP(0, 5, false, at)
+	if state, _ := ch.State(0); state != Closed {
+		t.Fatal("row still open after auto-precharge column")
+	}
+	// The bank re-activates tRP after the read recovery point.
+	reopen := at + uint64(tm.TRTP) + uint64(tm.TRP)
+	if ch.CanActivate(0, reopen-1) {
+		t.Error("ACT allowed before auto-precharge recovery")
+	}
+	if !ch.CanActivate(0, reopen+uint64(tm.TRRD)) {
+		t.Error("ACT refused after auto-precharge recovery")
+	}
+	if done != at+uint64(tm.TCL)+1 {
+		t.Errorf("completion %d changed by auto-precharge", done)
+	}
+}
+
+func TestClosedPageWriteRecovery(t *testing.T) {
+	ch, tm := newTestChannel(nil)
+	ch.Activate(0, 5, 0)
+	at := uint64(tm.TRAS)
+	ch.ColumnAP(0, 5, true, at)
+	recovery := at + uint64(tm.TWL) + 1 + uint64(tm.TWR)
+	if ch.CanActivate(0, recovery+uint64(tm.TRP)-1) {
+		t.Error("ACT allowed before write auto-precharge recovery")
+	}
+}

@@ -1,0 +1,106 @@
+// Package energy estimates DRAM and PIM energy from simulation
+// statistics. The paper reports performance only; this extension exists
+// because the PIM literature it builds on (Newton, HBM-PIM, AiM) argues
+// for PIM largely on energy grounds, and a reproduction library should
+// let users ask that question of the same runs.
+//
+// The model is event-based: each command class carries a per-event energy
+// and idle background power accrues per channel. Default coefficients are
+// HBM-class ballpark figures (documented per field); absolute joules are
+// only as good as the coefficients, but *comparisons* across policies on
+// identical workloads are meaningful because the event counts come from
+// the cycle-level model.
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Model holds per-event energies in picojoules and background power.
+type Model struct {
+	// ActPJ/PrePJ are per-bank activate/precharge energies; a broadcast
+	// (all-bank) PIM activate pays Banks x ActPJ.
+	ActPJ, PrePJ float64
+	// ReadPJ/WritePJ are per column access (one 32 B burst) including
+	// I/O energy off the stack.
+	ReadPJ, WritePJ float64
+	// PIMOpBankPJ is the per-bank energy of one lockstep PIM operation:
+	// a row-local DRAM word access plus the SIMD ALU — far cheaper per
+	// bit than moving the word to the host, which is PIM's point.
+	PIMOpBankPJ float64
+	// RefreshPJ is per all-bank REFab command.
+	RefreshPJ float64
+	// BackgroundMW is static power per channel in milliwatts.
+	BackgroundMW float64
+}
+
+// DefaultHBM returns HBM2-class ballpark coefficients.
+func DefaultHBM() Model {
+	return Model{
+		ActPJ:        800,
+		PrePJ:        400,
+		ReadPJ:       500,
+		WritePJ:      550,
+		PIMOpBankPJ:  65,
+		RefreshPJ:    4000,
+		BackgroundMW: 50,
+	}
+}
+
+// Breakdown is an energy estimate in nanojoules by component.
+type Breakdown struct {
+	ActivateNJ   float64 // MEM activates + precharges (from row misses)
+	ReadNJ       float64
+	WriteNJ      float64
+	PIMOpNJ      float64
+	PIMRowSwapNJ float64 // broadcast precharge+activate at block boundaries
+	RefreshNJ    float64
+	BackgroundNJ float64
+}
+
+// Total returns the sum in nanojoules.
+func (b Breakdown) Total() float64 {
+	return b.ActivateNJ + b.ReadNJ + b.WriteNJ + b.PIMOpNJ + b.PIMRowSwapNJ + b.RefreshNJ + b.BackgroundNJ
+}
+
+// String renders the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("act %.1f + rd %.1f + wr %.1f + pim %.1f + pimswap %.1f + ref %.1f + bg %.1f = %.1f nJ",
+		b.ActivateNJ, b.ReadNJ, b.WriteNJ, b.PIMOpNJ, b.PIMRowSwapNJ, b.RefreshNJ, b.BackgroundNJ, b.Total())
+}
+
+// Estimate converts a run's statistics into an energy breakdown. banks is
+// the per-channel bank count (broadcast commands pay per bank); dramMHz
+// converts background power over the run's DRAM cycles.
+func (m Model) Estimate(s *stats.Sim, banks, channels, dramMHz int) Breakdown {
+	t := s.TotalChannel()
+	var b Breakdown
+	// Each MEM row miss implies one activate and (almost always) one
+	// precharge of the previous row.
+	b.ActivateNJ = float64(t.RowMisses) * (m.ActPJ + m.PrePJ) / 1000
+	b.ReadNJ = float64(t.MemReads) * m.ReadPJ / 1000
+	b.WriteNJ = float64(t.MemWrites) * m.WritePJ / 1000
+	b.PIMOpNJ = float64(t.PIMOps) * float64(banks) * m.PIMOpBankPJ / 1000
+	// Each lockstep row change is a broadcast precharge + activate on
+	// every bank.
+	b.PIMRowSwapNJ = float64(t.PIMRowMisses) * float64(banks) * (m.ActPJ + m.PrePJ) / 1000
+	b.RefreshNJ = float64(t.Refreshes) * m.RefreshPJ / 1000
+	if dramMHz > 0 {
+		seconds := float64(s.DRAMCycles) / (float64(dramMHz) * 1e6)
+		b.BackgroundNJ = m.BackgroundMW * 1e-3 * seconds * float64(channels) * 1e9
+	}
+	return b
+}
+
+// PerRequestNJ returns average energy per serviced request (MEM accesses
+// plus PIM ops), a rough efficiency figure of merit.
+func (m Model) PerRequestNJ(s *stats.Sim, banks, channels, dramMHz int) float64 {
+	t := s.TotalChannel()
+	n := t.MemReads + t.MemWrites + t.PIMOps
+	if n == 0 {
+		return 0
+	}
+	return m.Estimate(s, banks, channels, dramMHz).Total() / float64(n)
+}

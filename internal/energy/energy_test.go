@@ -1,0 +1,95 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func sampleStats() *stats.Sim {
+	s := stats.New(2, 2)
+	s.DRAMCycles = 850_000 // 1 ms at 850 MHz
+	s.Channels[0] = stats.Channel{
+		MemReads: 1000, MemWrites: 500,
+		RowHits: 1200, RowMisses: 300,
+		PIMOps: 2000, PIMRowHits: 1900, PIMRowMisses: 100,
+		Refreshes: 10,
+	}
+	return s
+}
+
+func TestBreakdownComponents(t *testing.T) {
+	m := DefaultHBM()
+	b := m.Estimate(sampleStats(), 16, 2, 850)
+	if b.ReadNJ != 1000*m.ReadPJ/1000 {
+		t.Errorf("read energy %v", b.ReadNJ)
+	}
+	if b.WriteNJ != 500*m.WritePJ/1000 {
+		t.Errorf("write energy %v", b.WriteNJ)
+	}
+	wantAct := 300 * (m.ActPJ + m.PrePJ) / 1000
+	if math.Abs(b.ActivateNJ-wantAct) > 1e-9 {
+		t.Errorf("activate energy %v, want %v", b.ActivateNJ, wantAct)
+	}
+	wantPIM := 2000 * 16 * m.PIMOpBankPJ / 1000
+	if math.Abs(b.PIMOpNJ-wantPIM) > 1e-9 {
+		t.Errorf("pim energy %v, want %v", b.PIMOpNJ, wantPIM)
+	}
+	// Broadcast row swap pays per bank.
+	wantSwap := 100 * 16 * (m.ActPJ + m.PrePJ) / 1000
+	if math.Abs(b.PIMRowSwapNJ-wantSwap) > 1e-9 {
+		t.Errorf("pim swap energy %v, want %v", b.PIMRowSwapNJ, wantSwap)
+	}
+	if b.RefreshNJ != 10*m.RefreshPJ/1000 {
+		t.Errorf("refresh energy %v", b.RefreshNJ)
+	}
+	// Background: 50 mW x 1 ms x 2 channels = 100 uJ = 1e5 nJ.
+	if math.Abs(b.BackgroundNJ-1e5) > 1 {
+		t.Errorf("background energy %v nJ, want 1e5", b.BackgroundNJ)
+	}
+	if b.Total() <= b.BackgroundNJ {
+		t.Error("total not accumulating dynamic components")
+	}
+}
+
+func TestZeroCyclesNoBackground(t *testing.T) {
+	m := DefaultHBM()
+	s := stats.New(1, 1)
+	b := m.Estimate(s, 16, 1, 850)
+	if b.Total() != 0 {
+		t.Errorf("empty run energy %v", b.Total())
+	}
+	if m.PerRequestNJ(s, 16, 1, 850) != 0 {
+		t.Error("per-request energy of empty run not 0")
+	}
+}
+
+func TestPerRequestEnergy(t *testing.T) {
+	m := DefaultHBM()
+	s := sampleStats()
+	got := m.PerRequestNJ(s, 16, 2, 850)
+	want := m.Estimate(s, 16, 2, 850).Total() / float64(1000+500+2000)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("per-request %v, want %v", got, want)
+	}
+}
+
+// TestPIMEnergyAdvantage documents why the defaults are shaped the way
+// they are: a lockstep PIM op touching a DRAM word in place must cost
+// less than reading the same word out to the host.
+func TestPIMEnergyAdvantage(t *testing.T) {
+	m := DefaultHBM()
+	perPIMWord := m.PIMOpBankPJ
+	perHostRead := m.ReadPJ
+	if perPIMWord >= perHostRead {
+		t.Errorf("PIM word op %v pJ >= host read %v pJ; defeats PIM's premise", perPIMWord, perHostRead)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := DefaultHBM().Estimate(sampleStats(), 16, 2, 850)
+	if b.String() == "" {
+		t.Error("empty rendering")
+	}
+}

@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AblationStage is one bar of Fig. 14a.
+type AblationStage struct {
+	// Name identifies the design point.
+	Name string
+	// Fairness and Throughput are competitive metrics for the target
+	// PIM kernel averaged across GPU kernels; MemShare is the MEM
+	// fraction of throughput.
+	Fairness, Throughput, MemShare float64
+	// LLMSpeedup is the collaborative metric.
+	LLMSpeedup float64
+}
+
+// Ablation reproduces Fig. 14a: the incremental impact of F3FS's three
+// components over FR-FCFS-Cap, measured on one PIM kernel (P2 in the
+// paper, averaged across GPU kernels) and on the LLM, under VC2.
+//
+// Stages: (0) FR-FCFS-Cap baseline; (1) the CAP counts current-mode
+// bypasses instead of row hits; (2) current-mode-first arbitration
+// (= F3FS, symmetric CAPs); (3) asymmetric CAPs (256/128).
+func (r *Runner) Ablation(gpuIDs []string, pimID string) ([]AblationStage, error) {
+	type stage struct {
+		name    string
+		factory func(cfg config.Config) sched.PolicyFactory
+		memCap  int
+		pimCap  int
+	}
+	stages := []stage{
+		{
+			name: "fr-fcfs-cap",
+			factory: func(cfg config.Config) sched.PolicyFactory {
+				return func() sched.Policy { return sched.NewFRFCFSCap(cfg.Sched.FRFCFSCap) }
+			},
+		},
+		{
+			name: "+mode-cap",
+			factory: func(cfg config.Config) sched.PolicyFactory {
+				return func() sched.Policy { return core.NewModeCapFRFCFS(cfg.Sched.F3FSMemCap) }
+			},
+		},
+		{
+			name: "+current-mode-first",
+			factory: func(cfg config.Config) sched.PolicyFactory {
+				return func() sched.Policy { return core.NewF3FS(cfg.Sched.F3FSMemCap, cfg.Sched.F3FSPIMCap) }
+			},
+		},
+		{
+			name: "+asymmetric-caps",
+			factory: func(cfg config.Config) sched.PolicyFactory {
+				return func() sched.Policy { return core.NewF3FS(256, 128) }
+			},
+			memCap: 256, pimCap: 128,
+		},
+	}
+
+	var out []AblationStage
+	for _, st := range stages {
+		cfg := r.baseCfg(config.VC2)
+		var fis, sts, memShares []float64
+		for _, g := range gpuIDs {
+			pair, err := r.competitiveWithFactory(g, pimID, st.factory(cfg), config.VC2)
+			if err != nil {
+				return nil, err
+			}
+			fis = append(fis, pair.Fairness)
+			sts = append(sts, pair.Throughput)
+			if pair.Throughput > 0 {
+				memShares = append(memShares, pair.GPUSpeedup/pair.Throughput)
+			}
+		}
+		collab, err := r.collaborativeWithFactory(st.factory(cfg), config.VC2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationStage{
+			Name:       st.name,
+			Fairness:   stats.Mean(fis),
+			Throughput: stats.Mean(sts),
+			MemShare:   stats.Mean(memShares),
+			LLMSpeedup: collab.Speedup,
+		})
+	}
+	return out, nil
+}
+
+// competitiveWithFactory is Competitive with an explicit policy factory
+// (used by the ablation's intermediate design points).
+func (r *Runner) competitiveWithFactory(gpuID, pimID string, factory sched.PolicyFactory, mode config.VCMode) (Pair, error) {
+	gAlone, err := r.StandaloneGPU(gpuID)
+	if err != nil {
+		return Pair{}, err
+	}
+	pAlone, err := r.StandalonePIM(pimID)
+	if err != nil {
+		return Pair{}, err
+	}
+	gProf, err := workload.GPUProfileByID(gpuID)
+	if err != nil {
+		return Pair{}, err
+	}
+	pProf, err := workload.PIMProfileByID(pimID)
+	if err != nil {
+		return Pair{}, err
+	}
+	cfg := r.baseCfg(mode)
+	gpuSMs, pimSMs := sim.GPUAndPIMSMs(cfg)
+	sys, err := sim.New(cfg, factory, []sim.KernelDesc{
+		{GPU: &gProf, SMs: gpuSMs, Scale: r.Scale},
+		{PIM: &pProf, SMs: pimSMs, Scale: r.Scale, Base: 1 << 30},
+	})
+	if err != nil {
+		return Pair{}, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return Pair{}, err
+	}
+	p := Pair{
+		GPUID: gpuID, PIMID: pimID, Mode: mode,
+		GPUSpeedup: speedup(gAlone.Cycles, res.Kernels[0].EstFinish),
+		PIMSpeedup: speedup(pAlone.Cycles, res.Kernels[1].EstFinish),
+		Aborted:    res.Aborted,
+	}
+	p.Fairness = stats.FairnessIndex(p.GPUSpeedup, p.PIMSpeedup)
+	p.Throughput = stats.SystemThroughput(p.GPUSpeedup, p.PIMSpeedup)
+	return p, nil
+}
+
+// collaborativeWithFactory runs the LLM scenario under an explicit
+// factory.
+func (r *Runner) collaborativeWithFactory(factory sched.PolicyFactory, mode config.VCMode) (CollabResult, error) {
+	qkvAlone, mhaAlone, err := r.llmStandalone()
+	if err != nil {
+		return CollabResult{}, err
+	}
+	seq := qkvAlone + mhaAlone
+	cfg := r.baseCfg(mode)
+	model := llm.GPT3Like()
+	qkvDesc, mhaDesc := model.Scenario(cfg, r.Scale)
+	sys, err := sim.New(cfg, factory, []sim.KernelDesc{qkvDesc, mhaDesc})
+	if err != nil {
+		return CollabResult{}, err
+	}
+	sys.SetRunOnce(true)
+	res, err := sys.Run()
+	if err != nil {
+		return CollabResult{}, err
+	}
+	out := CollabResult{Mode: mode, QKVCycles: qkvAlone, MHACycles: mhaAlone, ConcurrentCycles: res.GPUCycles, Aborted: res.Aborted}
+	if res.GPUCycles > 0 && !res.Aborted {
+		out.Speedup = float64(seq) / float64(res.GPUCycles)
+	}
+	return out, nil
+}
+
+// AblationTable renders Fig. 14a.
+func AblationTable(stages []AblationStage) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %8s %9s %8s\n", "stage", "FI", "ST", "MEM-shr", "LLM")
+	for _, s := range stages {
+		fmt.Fprintf(&b, "%-22s %8.3f %8.3f %9.3f %8.3f\n", s.Name, s.Fairness, s.Throughput, s.MemShare, s.LLMSpeedup)
+	}
+	return b.String()
+}
+
+// QueuePoint is one bar of Fig. 14b.
+type QueuePoint struct {
+	QueueSize            int
+	Fairness, Throughput float64
+}
+
+// QueueSensitivity reproduces Fig. 14b: F3FS under VC2 with the
+// interconnect queue size swept from half to double the baseline.
+func (r *Runner) QueueSensitivity(gpuIDs, pimIDs []string, sizes []int) ([]QueuePoint, error) {
+	var out []QueuePoint
+	for _, size := range sizes {
+		sub := NewRunner(r.Cfg, r.Scale)
+		sub.Parallel = r.Parallel
+		sub.Cfg.NoC.BufferSize = size
+		var fis, sts []float64
+		for _, g := range gpuIDs {
+			for _, p := range pimIDs {
+				pair, err := sub.Competitive(g, p, "f3fs", config.VC2)
+				if err != nil {
+					return nil, err
+				}
+				fis = append(fis, pair.Fairness)
+				sts = append(sts, pair.Throughput)
+			}
+		}
+		out = append(out, QueuePoint{QueueSize: size, Fairness: stats.Mean(fis), Throughput: stats.Mean(sts)})
+	}
+	return out, nil
+}
+
+// QueueTable renders Fig. 14b.
+func QueueTable(points []QueuePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %8s\n", "queue", "FI", "ST")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-10d %8.3f %8.3f\n", p.QueueSize, p.Fairness, p.Throughput)
+	}
+	return b.String()
+}
+
+// CapPoint is one point of the Sec. VII-B CAP sensitivity study.
+type CapPoint struct {
+	MemCap, PIMCap       int
+	Fairness, Throughput float64
+	LLMSpeedup           float64
+}
+
+// CapSensitivity sweeps F3FS CAPs: symmetric values for the competitive
+// metrics, and the same values asymmetrically halved on PIM for the LLM.
+func (r *Runner) CapSensitivity(gpuIDs, pimIDs []string, caps []int, mode config.VCMode) ([]CapPoint, error) {
+	var out []CapPoint
+	for _, c := range caps {
+		cfg := r.baseCfg(mode)
+		cfg.Sched.F3FSMemCap = c
+		cfg.Sched.F3FSPIMCap = c
+		sub := NewRunner(cfg, r.Scale)
+		sub.Parallel = r.Parallel
+		var fis, sts []float64
+		for _, g := range gpuIDs {
+			for _, p := range pimIDs {
+				pair, err := sub.Competitive(g, p, "f3fs", mode)
+				if err != nil {
+					return nil, err
+				}
+				fis = append(fis, pair.Fairness)
+				sts = append(sts, pair.Throughput)
+			}
+		}
+		collab, err := sub.Collaborative("f3fs", mode, c, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CapPoint{
+			MemCap: c, PIMCap: c,
+			Fairness: stats.Mean(fis), Throughput: stats.Mean(sts),
+			LLMSpeedup: collab.Speedup,
+		})
+	}
+	return out, nil
+}
+
+// CapTable renders the CAP sensitivity study.
+func CapTable(points []CapPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s\n", "cap", "FI", "ST", "LLM")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%5d/%-6d %8.3f %8.3f %8.3f\n", p.MemCap, p.PIMCap, p.Fairness, p.Throughput, p.LLMSpeedup)
+	}
+	return b.String()
+}
+
+// DualBufferPoint compares one policy with and without the NeuPIMs-style
+// dual row buffer (related-work extension): the dual buffer removes the
+// switch-induced row conflicts of Fig. 9/10b without any scheduling
+// change, isolating how much of a policy's cost is locality destruction
+// versus queueing.
+type DualBufferPoint struct {
+	Policy                 string
+	Fairness, Throughput   float64
+	ConflictsPerSwitch     float64
+	DualFairness           float64
+	DualThroughput         float64
+	DualConflictsPerSwitch float64
+}
+
+// DualBufferAblation runs the given kernel pair under each policy, with
+// the shared row buffer (paper baseline) and with the dual buffer.
+func (r *Runner) DualBufferAblation(gpuID, pimID string, policies []string, mode config.VCMode) ([]DualBufferPoint, error) {
+	var out []DualBufferPoint
+	for _, policy := range policies {
+		base, err := r.Competitive(gpuID, pimID, policy, mode)
+		if err != nil {
+			return nil, err
+		}
+		dualCfg := r.Cfg
+		dualCfg.PIM.DualRowBuffer = true
+		sub := NewRunner(dualCfg, r.Scale)
+		sub.Parallel = r.Parallel
+		dual, err := sub.Competitive(gpuID, pimID, policy, mode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DualBufferPoint{
+			Policy:                 policy,
+			Fairness:               base.Fairness,
+			Throughput:             base.Throughput,
+			ConflictsPerSwitch:     base.ConflictsPerSwitch,
+			DualFairness:           dual.Fairness,
+			DualThroughput:         dual.Throughput,
+			DualConflictsPerSwitch: dual.ConflictsPerSwitch,
+		})
+	}
+	return out, nil
+}
+
+// DualBufferTable renders the comparison.
+func DualBufferTable(points []DualBufferPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s | %8s %8s %8s\n",
+		"policy", "FI", "ST", "conf/sw", "dual-FI", "dual-ST", "conf/sw")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-14s %8.3f %8.3f %8.2f | %8.3f %8.3f %8.2f\n",
+			p.Policy, p.Fairness, p.Throughput, p.ConflictsPerSwitch,
+			p.DualFairness, p.DualThroughput, p.DualConflictsPerSwitch)
+	}
+	return b.String()
+}
+
+// BlissPoint is one point of the Sec. VI-A blacklist threshold sweep.
+type BlissPoint struct {
+	Threshold            int
+	Fairness, Throughput float64
+}
+
+// BlissSweep sweeps the BLISS blacklist threshold (the paper notes BLISS
+// performs best with a low threshold, converging toward FR-FCFS).
+func (r *Runner) BlissSweep(gpuIDs, pimIDs []string, thresholds []int, mode config.VCMode) ([]BlissPoint, error) {
+	var out []BlissPoint
+	for _, th := range thresholds {
+		cfg := r.baseCfg(mode)
+		cfg.Sched.BlissThreshold = th
+		sub := NewRunner(cfg, r.Scale)
+		sub.Parallel = r.Parallel
+		var fis, sts []float64
+		for _, g := range gpuIDs {
+			for _, p := range pimIDs {
+				pair, err := sub.Competitive(g, p, "bliss", mode)
+				if err != nil {
+					return nil, err
+				}
+				fis = append(fis, pair.Fairness)
+				sts = append(sts, pair.Throughput)
+			}
+		}
+		out = append(out, BlissPoint{Threshold: th, Fairness: stats.Mean(fis), Throughput: stats.Mean(sts)})
+	}
+	return out, nil
+}
+
+// BlissTable renders the threshold sweep.
+func BlissTable(points []BlissPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %8s\n", "threshold", "FI", "ST")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-10d %8.3f %8.3f\n", p.Threshold, p.Fairness, p.Throughput)
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// BoxStats is a box-and-whisker summary (Fig. 4's presentation).
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+func boxOf(xs []float64) BoxStats {
+	min, q1, med, q3, max := stats.Quartiles(xs)
+	return BoxStats{Min: min, Q1: q1, Median: med, Q3: q3, Max: max}
+}
+
+// Characterization reproduces Fig. 4: the memory access characteristics
+// of the Rodinia suite on all SMs (GPU-80 in the paper) and on the PIM SM
+// count (GPU-8), and of the PIM kernels, under FR-FCFS.
+type Characterization struct {
+	// Groups are "GPU-<all>", "GPU-<few>", "PIM".
+	Groups []string
+	// NoCRate, MCRate, BLP, RBHR are per-group box summaries in
+	// requests/kcycle (rates) and absolute units.
+	NoCRate, MCRate, BLP, RBHR map[string]BoxStats
+	// PerKernel keeps the raw values for downstream analysis, keyed by
+	// group then kernel ID.
+	PerKernel map[string]map[string]Standalone
+}
+
+// Characterize runs the Fig. 4 characterization for the given kernels.
+func (r *Runner) Characterize(gpuIDs, pimIDs []string) (*Characterization, error) {
+	few := r.Cfg.GPU.PIMSMs
+	all := r.Cfg.GPU.NumSMs
+	groupAll := fmt.Sprintf("GPU-%d", all)
+	groupFew := fmt.Sprintf("GPU-%d", few)
+	c := &Characterization{
+		Groups:    []string{groupAll, groupFew, "PIM"},
+		NoCRate:   map[string]BoxStats{},
+		MCRate:    map[string]BoxStats{},
+		BLP:       map[string]BoxStats{},
+		RBHR:      map[string]BoxStats{},
+		PerKernel: map[string]map[string]Standalone{groupAll: {}, groupFew: {}, "PIM": {}},
+	}
+	for _, id := range gpuIDs {
+		sAll, err := r.StandaloneGPUOn(id, all)
+		if err != nil {
+			return nil, err
+		}
+		sFew, err := r.StandaloneGPUOn(id, few)
+		if err != nil {
+			return nil, err
+		}
+		c.PerKernel[groupAll][id] = sAll
+		c.PerKernel[groupFew][id] = sFew
+	}
+	for _, id := range pimIDs {
+		s, err := r.StandalonePIM(id)
+		if err != nil {
+			return nil, err
+		}
+		c.PerKernel["PIM"][id] = s
+	}
+	for group, kernels := range c.PerKernel {
+		var noc, mc, blp, rbhr []float64
+		for _, s := range kernels {
+			noc = append(noc, s.NoCRate)
+			mc = append(mc, s.MCRate)
+			blp = append(blp, s.BLP)
+			rbhr = append(rbhr, s.RBHR)
+		}
+		if len(noc) == 0 {
+			continue
+		}
+		c.NoCRate[group] = boxOf(noc)
+		c.MCRate[group] = boxOf(mc)
+		c.BLP[group] = boxOf(blp)
+		c.RBHR[group] = boxOf(rbhr)
+	}
+	return c, nil
+}
+
+// Table renders the characterization as aligned text.
+func (c *Characterization) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-10s %8s %8s %8s %8s %8s\n", "group", "metric", "min", "q1", "median", "q3", "max")
+	row := func(group, metric string, bs BoxStats) {
+		fmt.Fprintf(&b, "%-10s %-10s %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			group, metric, bs.Min, bs.Q1, bs.Median, bs.Q3, bs.Max)
+	}
+	for _, g := range c.Groups {
+		row(g, "noc-rate", c.NoCRate[g])
+		row(g, "mc-rate", c.MCRate[g])
+		row(g, "blp", c.BLP[g])
+		row(g, "rbhr", c.RBHR[g])
+	}
+	return b.String()
+}
+
+// CoRunImpact reproduces Fig. 5: the average speedup of a set of GPU
+// kernels on the co-execution SM share, alone and against each co-runner
+// (memory-intensive GPU kernels or a PIM kernel on the reserved SMs),
+// normalized to running alone on all SMs.
+type CoRunImpact struct {
+	// CoRunners orders the columns: "none" then each co-runner ID.
+	CoRunners []string
+	// AvgSpeedup maps co-runner -> mean speedup of the suite.
+	AvgSpeedup map[string]float64
+	// PerKernel maps co-runner -> suite kernel -> speedup.
+	PerKernel map[string]map[string]float64
+}
+
+// CoRun runs the Fig. 5 experiment: suite kernels on NumSMs-PIMSMs SMs,
+// against co-runners on the remaining SMs. A co-runner ID starting with
+// "P" is a PIM kernel; "none" (or "") measures reduced-SM impact alone.
+func (r *Runner) CoRun(suite []string, coRunners []string) (*CoRunImpact, error) {
+	out := &CoRunImpact{
+		CoRunners:  append([]string{"none"}, coRunners...),
+		AvgSpeedup: map[string]float64{},
+		PerKernel:  map[string]map[string]float64{},
+	}
+	gpuSMsN := r.Cfg.GPU.NumSMs - r.Cfg.GPU.PIMSMs
+	var mu sync.Mutex
+	for _, co := range out.CoRunners {
+		out.PerKernel[co] = map[string]float64{}
+		co := co
+		err := r.forEachPair(suite, []string{"x"}, func(id, _ string) error {
+			alone, err := r.StandaloneGPU(id)
+			if err != nil {
+				return err
+			}
+			var sp float64
+			if co == "none" {
+				reduced, err := r.StandaloneGPUOn(id, gpuSMsN)
+				if err != nil {
+					return err
+				}
+				sp = speedup(alone.Cycles, reduced.Cycles)
+			} else {
+				sp, err = r.coRunSpeedup(id, co)
+				if err != nil {
+					return err
+				}
+			}
+			mu.Lock()
+			out.PerKernel[co][id] = sp
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var xs []float64
+		for _, v := range out.PerKernel[co] {
+			xs = append(xs, v)
+		}
+		out.AvgSpeedup[co] = stats.Mean(xs)
+	}
+	return out, nil
+}
+
+// coRunSpeedup runs suite kernel id on the GPU share against co-runner
+// co on the reserved SMs and returns id's speedup vs alone-on-all-SMs.
+func (r *Runner) coRunSpeedup(id, co string) (float64, error) {
+	alone, err := r.StandaloneGPU(id)
+	if err != nil {
+		return 0, err
+	}
+	cfg := r.baseCfg(config.VC1)
+	gpuSMs, pimSMs := sim.GPUAndPIMSMs(cfg)
+	prof, err := workload.GPUProfileByID(id)
+	if err != nil {
+		return 0, err
+	}
+	descs := []sim.KernelDesc{{GPU: &prof, SMs: gpuSMs, Scale: r.Scale}}
+	if strings.HasPrefix(co, "P") {
+		coProf, err := workload.PIMProfileByID(co)
+		if err != nil {
+			return 0, err
+		}
+		descs = append(descs, sim.KernelDesc{PIM: &coProf, SMs: pimSMs, Scale: r.Scale, Base: 1 << 30})
+	} else {
+		coProf, err := workload.GPUProfileByID(co)
+		if err != nil {
+			return 0, err
+		}
+		descs = append(descs, sim.KernelDesc{GPU: &coProf, SMs: pimSMs, Scale: r.Scale, Base: 1 << 30})
+	}
+	sys, err := sim.New(cfg, core.Factory("fr-fcfs", cfg.Sched), descs)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return 0, err
+	}
+	return speedup(alone.Cycles, res.Kernels[0].EstFinish), nil
+}
+
+// Table renders the co-run impact as aligned text.
+func (c *CoRunImpact) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s\n", "co-runner", "avg speedup")
+	for _, co := range c.CoRunners {
+		fmt.Fprintf(&b, "%-10s %12.3f\n", co, c.AvgSpeedup[co])
+	}
+	return b.String()
+}

@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// Sweep is a full competitive sweep: every (GPU, PIM, policy, VC)
+// combination's Pair metrics.
+type Sweep struct {
+	Policies []string
+	Modes    []config.VCMode
+	GPUIDs   []string
+	PIMIDs   []string
+	// Pairs[mode][policy][gpu][pim]
+	Pairs map[config.VCMode]map[string]map[string]map[string]Pair
+}
+
+// RunSweep executes the competitive cross product (Figs. 6, 8, 10, 13
+// all reduce this sweep differently).
+func (r *Runner) RunSweep(gpuIDs, pimIDs, policies []string, modes []config.VCMode) (*Sweep, error) {
+	s := &Sweep{
+		Policies: policies,
+		Modes:    modes,
+		GPUIDs:   gpuIDs,
+		PIMIDs:   pimIDs,
+		Pairs:    map[config.VCMode]map[string]map[string]map[string]Pair{},
+	}
+	// Pre-warm the standalone caches serially so parallel workers only
+	// read them.
+	for _, g := range gpuIDs {
+		if _, err := r.StandaloneGPU(g); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range pimIDs {
+		if _, err := r.StandalonePIM(p); err != nil {
+			return nil, err
+		}
+	}
+	var mu sync.Mutex
+	for _, mode := range modes {
+		s.Pairs[mode] = map[string]map[string]map[string]Pair{}
+		for _, policy := range policies {
+			s.Pairs[mode][policy] = map[string]map[string]Pair{}
+			for _, g := range gpuIDs {
+				s.Pairs[mode][policy][g] = map[string]Pair{}
+			}
+			mode, policy := mode, policy
+			err := r.forEachPair(gpuIDs, pimIDs, func(g, p string) error {
+				pair, err := r.Competitive(g, p, policy, mode)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				s.Pairs[mode][policy][g][p] = pair
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// collect returns every pair of one (mode, policy) slice.
+func (s *Sweep) collect(mode config.VCMode, policy string) []Pair {
+	var out []Pair
+	for _, g := range s.GPUIDs {
+		for _, p := range s.PIMIDs {
+			out = append(out, s.Pairs[mode][policy][g][p])
+		}
+	}
+	return out
+}
+
+// ArrivalRates reduces the sweep to Fig. 6: per policy and GPU kernel,
+// the MEM request arrival rate at the memory controller under contention
+// normalized to standalone, averaged across PIM kernels.
+type ArrivalRates struct {
+	Policies []string
+	GPUIDs   []string
+	// Norm[mode][policy][gpu] is the normalized arrival rate.
+	Norm map[config.VCMode]map[string]map[string]float64
+	// PolicyAvg[mode][policy] averages across GPU kernels.
+	PolicyAvg map[config.VCMode]map[string]float64
+}
+
+// ArrivalRates computes the Fig. 6 reduction.
+func (s *Sweep) ArrivalRates() *ArrivalRates {
+	a := &ArrivalRates{
+		Policies:  s.Policies,
+		GPUIDs:    s.GPUIDs,
+		Norm:      map[config.VCMode]map[string]map[string]float64{},
+		PolicyAvg: map[config.VCMode]map[string]float64{},
+	}
+	for _, mode := range s.Modes {
+		a.Norm[mode] = map[string]map[string]float64{}
+		a.PolicyAvg[mode] = map[string]float64{}
+		for _, policy := range s.Policies {
+			a.Norm[mode][policy] = map[string]float64{}
+			var all []float64
+			for _, g := range s.GPUIDs {
+				var xs []float64
+				for _, p := range s.PIMIDs {
+					xs = append(xs, s.Pairs[mode][policy][g][p].MemArrivalNorm)
+				}
+				v := stats.Mean(xs)
+				a.Norm[mode][policy][g] = v
+				all = append(all, v)
+			}
+			a.PolicyAvg[mode][policy] = stats.Mean(all)
+		}
+	}
+	return a
+}
+
+// Table renders Fig. 6's reduction.
+func (a *ArrivalRates) Table(modes []config.VCMode) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "policy")
+	for _, m := range modes {
+		fmt.Fprintf(&b, " %8s", m)
+	}
+	b.WriteByte('\n')
+	for _, p := range a.Policies {
+		fmt.Fprintf(&b, "%-14s", p)
+		for _, m := range modes {
+			fmt.Fprintf(&b, " %8.3f", a.PolicyAvg[m][p])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FairnessThroughput reduces the sweep to Fig. 8: per PIM kernel (and on
+// average), the fairness index and system throughput of each policy,
+// averaged across GPU kernels. The MEM/PIM speedup split of Fig. 8b is
+// retained.
+type FairnessThroughput struct {
+	Policies []string
+	PIMIDs   []string
+	// Fairness[mode][policy][pim], Throughput likewise;
+	// MemShare is the MEM fraction of throughput (Fig. 8b shading).
+	Fairness   map[config.VCMode]map[string]map[string]float64
+	Throughput map[config.VCMode]map[string]map[string]float64
+	MemShare   map[config.VCMode]map[string]map[string]float64
+	// AvgFairness/AvgThroughput[mode][policy] average across PIM kernels.
+	AvgFairness   map[config.VCMode]map[string]float64
+	AvgThroughput map[config.VCMode]map[string]float64
+	// WorstFairness/WorstThroughput[mode][policy] are the minima across
+	// all combinations (the paper's worst-case comparison).
+	WorstFairness   map[config.VCMode]map[string]float64
+	WorstThroughput map[config.VCMode]map[string]float64
+}
+
+// FairnessThroughput computes the Fig. 8 reduction.
+func (s *Sweep) FairnessThroughput() *FairnessThroughput {
+	f := &FairnessThroughput{
+		Policies:        s.Policies,
+		PIMIDs:          s.PIMIDs,
+		Fairness:        map[config.VCMode]map[string]map[string]float64{},
+		Throughput:      map[config.VCMode]map[string]map[string]float64{},
+		MemShare:        map[config.VCMode]map[string]map[string]float64{},
+		AvgFairness:     map[config.VCMode]map[string]float64{},
+		AvgThroughput:   map[config.VCMode]map[string]float64{},
+		WorstFairness:   map[config.VCMode]map[string]float64{},
+		WorstThroughput: map[config.VCMode]map[string]float64{},
+	}
+	for _, mode := range s.Modes {
+		f.Fairness[mode] = map[string]map[string]float64{}
+		f.Throughput[mode] = map[string]map[string]float64{}
+		f.MemShare[mode] = map[string]map[string]float64{}
+		f.AvgFairness[mode] = map[string]float64{}
+		f.AvgThroughput[mode] = map[string]float64{}
+		f.WorstFairness[mode] = map[string]float64{}
+		f.WorstThroughput[mode] = map[string]float64{}
+		for _, policy := range s.Policies {
+			f.Fairness[mode][policy] = map[string]float64{}
+			f.Throughput[mode][policy] = map[string]float64{}
+			f.MemShare[mode][policy] = map[string]float64{}
+			worstFI, worstST := 2.0, 1e18
+			var avgFI, avgST []float64
+			for _, p := range s.PIMIDs {
+				var fi, st, mem []float64
+				for _, g := range s.GPUIDs {
+					pair := s.Pairs[mode][policy][g][p]
+					fi = append(fi, pair.Fairness)
+					st = append(st, pair.Throughput)
+					if pair.Throughput > 0 {
+						mem = append(mem, pair.GPUSpeedup/pair.Throughput)
+					}
+					if pair.Fairness < worstFI {
+						worstFI = pair.Fairness
+					}
+					if pair.Throughput < worstST {
+						worstST = pair.Throughput
+					}
+				}
+				f.Fairness[mode][policy][p] = stats.Mean(fi)
+				f.Throughput[mode][policy][p] = stats.Mean(st)
+				f.MemShare[mode][policy][p] = stats.Mean(mem)
+				avgFI = append(avgFI, stats.Mean(fi))
+				avgST = append(avgST, stats.Mean(st))
+			}
+			f.AvgFairness[mode][policy] = stats.Mean(avgFI)
+			f.AvgThroughput[mode][policy] = stats.Mean(avgST)
+			f.WorstFairness[mode][policy] = worstFI
+			f.WorstThroughput[mode][policy] = worstST
+		}
+	}
+	return f
+}
+
+// Table renders the Fig. 8 averages.
+func (f *FairnessThroughput) Table(modes []config.VCMode) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "policy")
+	for _, m := range modes {
+		fmt.Fprintf(&b, " %8s %8s %9s %9s", "FI/"+m.String(), "ST/"+m.String(), "wFI/"+m.String(), "wST/"+m.String())
+	}
+	b.WriteByte('\n')
+	for _, p := range f.Policies {
+		fmt.Fprintf(&b, "%-14s", p)
+		for _, m := range modes {
+			fmt.Fprintf(&b, " %8.3f %8.3f %9.3f %9.3f",
+				f.AvgFairness[m][p], f.AvgThroughput[m][p], f.WorstFairness[m][p], f.WorstThroughput[m][p])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SwitchOverheads reduces the sweep to Fig. 10: per policy, the number of
+// mode switches normalized to FCFS (geometric mean across combinations,
+// Fig. 10a), the additional MEM conflicts per switch (Fig. 10b) and the
+// MEM drain latency per switch in DRAM cycles (Fig. 10c), both arithmetic
+// means.
+type SwitchOverheads struct {
+	Policies []string
+	// SwitchesVsFCFS[mode][policy] is the Fig. 10a geo-mean ratio.
+	SwitchesVsFCFS map[config.VCMode]map[string]float64
+	// Conflicts and Drain are the Fig. 10b/10c means.
+	Conflicts map[config.VCMode]map[string]float64
+	Drain     map[config.VCMode]map[string]float64
+}
+
+// SwitchOverheads computes the Fig. 10 reduction. The sweep must include
+// the "fcfs" policy for normalization.
+func (s *Sweep) SwitchOverheads() (*SwitchOverheads, error) {
+	hasFCFS := false
+	for _, p := range s.Policies {
+		if p == "fcfs" {
+			hasFCFS = true
+		}
+	}
+	if !hasFCFS {
+		return nil, fmt.Errorf("experiments: Fig. 10 normalization requires the fcfs policy in the sweep")
+	}
+	o := &SwitchOverheads{
+		Policies:       s.Policies,
+		SwitchesVsFCFS: map[config.VCMode]map[string]float64{},
+		Conflicts:      map[config.VCMode]map[string]float64{},
+		Drain:          map[config.VCMode]map[string]float64{},
+	}
+	for _, mode := range s.Modes {
+		o.SwitchesVsFCFS[mode] = map[string]float64{}
+		o.Conflicts[mode] = map[string]float64{}
+		o.Drain[mode] = map[string]float64{}
+		for _, policy := range s.Policies {
+			var ratios, conflicts, drains []float64
+			for _, g := range s.GPUIDs {
+				for _, p := range s.PIMIDs {
+					pair := s.Pairs[mode][policy][g][p]
+					base := s.Pairs[mode]["fcfs"][g][p]
+					if base.Switches > 0 {
+						ratios = append(ratios, float64(pair.Switches)/float64(base.Switches))
+					}
+					conflicts = append(conflicts, pair.ConflictsPerSwitch)
+					drains = append(drains, pair.DrainPerSwitch)
+				}
+			}
+			o.SwitchesVsFCFS[mode][policy] = stats.GeoMean(ratios)
+			o.Conflicts[mode][policy] = stats.Mean(conflicts)
+			o.Drain[mode][policy] = stats.Mean(drains)
+		}
+	}
+	return o, nil
+}
+
+// Table renders the Fig. 10 reduction.
+func (o *SwitchOverheads) Table(modes []config.VCMode) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "policy")
+	for _, m := range modes {
+		fmt.Fprintf(&b, " %10s %10s %10s", "sw/"+m.String(), "conf/"+m.String(), "drain/"+m.String())
+	}
+	b.WriteByte('\n')
+	for _, p := range o.Policies {
+		fmt.Fprintf(&b, "%-14s", p)
+		for _, m := range modes {
+			fmt.Fprintf(&b, " %10.3f %10.2f %10.1f", o.SwitchesVsFCFS[m][p], o.Conflicts[m][p], o.Drain[m][p])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// IntensitySlice reduces a sweep to Fig. 13: per GPU kernel (the paper
+// uses the compute-intensive G10 and memory-intensive G6, G11, G17, G19),
+// fairness and throughput averaged across PIM kernels.
+type IntensitySlice struct {
+	Policies []string
+	GPUIDs   []string
+	// Fairness/Throughput[mode][policy][gpu].
+	Fairness   map[config.VCMode]map[string]map[string]float64
+	Throughput map[config.VCMode]map[string]map[string]float64
+}
+
+// IntensitySlice computes the Fig. 13 reduction (the orthogonal slice of
+// Fig. 8).
+func (s *Sweep) IntensitySlice() *IntensitySlice {
+	out := &IntensitySlice{
+		Policies:   s.Policies,
+		GPUIDs:     s.GPUIDs,
+		Fairness:   map[config.VCMode]map[string]map[string]float64{},
+		Throughput: map[config.VCMode]map[string]map[string]float64{},
+	}
+	for _, mode := range s.Modes {
+		out.Fairness[mode] = map[string]map[string]float64{}
+		out.Throughput[mode] = map[string]map[string]float64{}
+		for _, policy := range s.Policies {
+			out.Fairness[mode][policy] = map[string]float64{}
+			out.Throughput[mode][policy] = map[string]float64{}
+			for _, g := range s.GPUIDs {
+				var fi, st []float64
+				for _, p := range s.PIMIDs {
+					pair := s.Pairs[mode][policy][g][p]
+					fi = append(fi, pair.Fairness)
+					st = append(st, pair.Throughput)
+				}
+				out.Fairness[mode][policy][g] = stats.Mean(fi)
+				out.Throughput[mode][policy][g] = stats.Mean(st)
+			}
+		}
+	}
+	return out
+}
+
+// Table renders the Fig. 13 slice for one mode.
+func (i *IntensitySlice) Table(mode config.VCMode) string {
+	var b strings.Builder
+	gpus := append([]string(nil), i.GPUIDs...)
+	sort.Strings(gpus)
+	fmt.Fprintf(&b, "%-14s", "policy")
+	for _, g := range gpus {
+		fmt.Fprintf(&b, " %7s-FI %7s-ST", g, g)
+	}
+	b.WriteByte('\n')
+	for _, p := range i.Policies {
+		fmt.Fprintf(&b, "%-14s", p)
+		for _, g := range gpus {
+			fmt.Fprintf(&b, " %10.3f %10.3f", i.Fairness[mode][p][g], i.Throughput[mode][p][g])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

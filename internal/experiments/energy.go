@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// EnergyPoint is one policy's energy outcome on a fixed workload pair —
+// a library extension (the paper evaluates performance only): because
+// the work done is identical across policies, differences isolate the
+// scheduling policy's energy cost (extra activates from lost locality,
+// extra broadcast row swaps from frequent switching).
+type EnergyPoint struct {
+	Policy string
+	// TotalUJ is the total energy in microjoules; PerRequestNJ the
+	// average nanojoules per serviced request.
+	TotalUJ      float64
+	PerRequestNJ float64
+	// RowMisses and PIMRowMisses drive the activate energy.
+	RowMisses, PIMRowMisses uint64
+	Breakdown               energy.Breakdown
+}
+
+// EnergySweep co-runs one GPU/PIM pair under each policy and estimates
+// the DRAM+PIM energy of each run with the given model.
+func (r *Runner) EnergySweep(gpuID, pimID string, policies []string, mode config.VCMode, m energy.Model) ([]EnergyPoint, error) {
+	gProf, err := workload.GPUProfileByID(gpuID)
+	if err != nil {
+		return nil, err
+	}
+	pProf, err := workload.PIMProfileByID(pimID)
+	if err != nil {
+		return nil, err
+	}
+	var out []EnergyPoint
+	for _, policy := range policies {
+		cfg := r.baseCfg(mode)
+		factory := core.Factory(policy, cfg.Sched)
+		if factory == nil {
+			return nil, fmt.Errorf("experiments: unknown policy %q", policy)
+		}
+		gpuSMs, pimSMs := sim.GPUAndPIMSMs(cfg)
+		sys, err := sim.New(cfg, factory, []sim.KernelDesc{
+			{GPU: &gProf, SMs: gpuSMs, Scale: r.Scale},
+			{PIM: &pProf, SMs: pimSMs, Scale: r.Scale, Base: 1 << 30},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := sys.Run()
+		if err != nil {
+			return nil, err
+		}
+		b := m.Estimate(res.Stats, cfg.Memory.Banks, cfg.Memory.Channels, cfg.Memory.ClockMHz)
+		tc := res.Stats.TotalChannel()
+		out = append(out, EnergyPoint{
+			Policy:       policy,
+			TotalUJ:      b.Total() / 1000,
+			PerRequestNJ: m.PerRequestNJ(res.Stats, cfg.Memory.Banks, cfg.Memory.Channels, cfg.Memory.ClockMHz),
+			RowMisses:    tc.RowMisses,
+			PIMRowMisses: tc.PIMRowMisses,
+			Breakdown:    b,
+		})
+	}
+	return out, nil
+}
+
+// EnergyTable renders the energy comparison.
+func EnergyTable(points []EnergyPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %10s\n", "policy", "total-uJ", "nJ/req", "mem-miss", "pim-miss")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-14s %10.1f %10.2f %10d %10d\n",
+			p.Policy, p.TotalUJ, p.PerRequestNJ, p.RowMisses, p.PIMRowMisses)
+	}
+	return b.String()
+}

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/energy"
+)
+
+func energyModel() energy.Model { return energy.DefaultHBM() }
+
+func quickRunner() *Runner {
+	cfg := config.Scaled()
+	cfg.MaxGPUCycles = 2_000_000
+	r := NewRunner(cfg, 0.25)
+	r.Parallel = 4
+	return r
+}
+
+func TestStandaloneCaching(t *testing.T) {
+	r := quickRunner()
+	a, err := r.StandaloneGPU("G8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.StandaloneGPU("G8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("standalone result not cached deterministically")
+	}
+	if a.Cycles == 0 {
+		t.Error("standalone run recorded zero cycles")
+	}
+}
+
+func TestCompetitivePairMetrics(t *testing.T) {
+	r := quickRunner()
+	p, err := r.Competitive("G8", "P2", "f3fs", config.VC2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GPUSpeedup <= 0 || p.PIMSpeedup <= 0 {
+		t.Fatalf("speedups: %+v", p)
+	}
+	if p.GPUSpeedup > 1.2 || p.PIMSpeedup > 1.2 {
+		t.Errorf("contended speedups exceed standalone: %+v", p)
+	}
+	if p.Fairness <= 0 || p.Fairness > 1 {
+		t.Errorf("fairness out of range: %v", p.Fairness)
+	}
+	if p.Throughput <= 0 || p.Throughput > 2.2 {
+		t.Errorf("throughput out of range: %v", p.Throughput)
+	}
+}
+
+func TestCharacterizationShape(t *testing.T) {
+	r := quickRunner()
+	c, err := r.Characterize([]string{"G4", "G10", "G15"}, []string{"P1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PIM executes on all banks in lockstep: its BLP must dominate the
+	// GPU groups (Fig. 4c shows a single bar at the bank count).
+	pimBLP := c.BLP["PIM"].Median
+	if pimBLP < 12 {
+		t.Errorf("PIM median BLP = %.1f, want near 16", pimBLP)
+	}
+	// The compute-intensive G10 must sit at the bottom of the MC rate
+	// range; the DRAM-heavy G15 at the top.
+	groupAll := c.Groups[0]
+	if c.PerKernel[groupAll]["G15"].MCRate <= c.PerKernel[groupAll]["G10"].MCRate {
+		t.Error("G15 (nn) should out-rate G10 (huffman) at the MC")
+	}
+	if c.Table() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestCollaborativeQKVIsLongerStage(t *testing.T) {
+	r := quickRunner()
+	qkv, mha, err := r.llmStandalone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qkv <= mha {
+		t.Errorf("QKV (%d) must be the longer stage vs MHA (%d), per Sec. VI-B", qkv, mha)
+	}
+}
+
+func TestCollaborativeSpeedupBounds(t *testing.T) {
+	r := quickRunner()
+	res, err := r.Collaborative("f3fs", config.VC2, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup <= 0 {
+		t.Fatalf("no speedup measured: %+v", res)
+	}
+	if res.Speedup > res.Ideal+0.05 {
+		t.Errorf("speedup %.3f exceeds ideal %.3f", res.Speedup, res.Ideal)
+	}
+}
+
+func TestSweepAndReductions(t *testing.T) {
+	r := quickRunner()
+	sweep, err := r.RunSweep([]string{"G8"}, []string{"P2"},
+		[]string{"fcfs", "fr-fcfs", "fr-rr-fcfs", "f3fs"},
+		[]config.VCMode{config.VC1, config.VC2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := sweep.FairnessThroughput()
+	for _, mode := range sweep.Modes {
+		for _, policy := range sweep.Policies {
+			if ft.AvgThroughput[mode][policy] <= 0 {
+				t.Errorf("%s/%s: zero throughput", policy, mode)
+			}
+		}
+	}
+	so, err := sweep.SwitchOverheads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FCFS normalizes to itself.
+	if got := so.SwitchesVsFCFS[config.VC1]["fcfs"]; got < 0.99 || got > 1.01 {
+		t.Errorf("FCFS self-normalization = %v", got)
+	}
+	// F3FS's whole point: far fewer switches than FCFS (Fig. 10a).
+	if got := so.SwitchesVsFCFS[config.VC2]["f3fs"]; got >= 0.5 {
+		t.Errorf("F3FS switches/FCFS = %.3f, want < 0.5", got)
+	}
+	ar := sweep.ArrivalRates()
+	if ar.PolicyAvg[config.VC1]["fr-fcfs"] <= 0 {
+		t.Error("zero arrival rate in Fig. 6 reduction")
+	}
+	is := sweep.IntensitySlice()
+	if is.Fairness[config.VC2]["f3fs"]["G8"] <= 0 {
+		t.Error("zero fairness in Fig. 13 slice")
+	}
+	for _, s := range []string{ft.Table(sweep.Modes), so.Table(sweep.Modes), ar.Table(sweep.Modes), is.Table(config.VC2)} {
+		if s == "" {
+			t.Error("empty rendering")
+		}
+	}
+}
+
+func TestSwitchOverheadsRequiresFCFS(t *testing.T) {
+	s := &Sweep{Policies: []string{"f3fs"}}
+	if _, err := s.SwitchOverheads(); err == nil {
+		t.Error("missing fcfs accepted")
+	}
+}
+
+func TestQueueSensitivityRuns(t *testing.T) {
+	r := quickRunner()
+	pts, err := r.QueueSensitivity([]string{"G8"}, []string{"P2"}, []int{256, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Throughput <= 0 {
+		t.Fatalf("queue sensitivity: %+v", pts)
+	}
+}
+
+func TestPrioritySweepShiftsService(t *testing.T) {
+	r := quickRunner()
+	pts, err := r.PrioritySweep([]string{"G8"}, []string{"P2"},
+		[][2]int{{1, 4}, {1, 1}, {4, 1}}, 512, config.VC2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Raising the MEM priority must not reduce the GPU kernel's speedup
+	// share.
+	share := func(p PriorityPoint) float64 {
+		if p.Throughput == 0 {
+			return 0
+		}
+		return p.GPUSpeedup / p.Throughput
+	}
+	if share(pts[2]) < share(pts[0]) {
+		t.Errorf("GPU share fell as MEM priority rose: %.3f (1:4) -> %.3f (4:1)",
+			share(pts[0]), share(pts[2]))
+	}
+	if PriorityTable(pts) == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestEnergySweep(t *testing.T) {
+	r := quickRunner()
+	pts, err := r.EnergySweep("G8", "P2", []string{"fcfs", "f3fs"}, config.VC2, energyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.TotalUJ <= 0 || p.PerRequestNJ <= 0 {
+			t.Errorf("%s: degenerate energy %+v", p.Policy, p)
+		}
+	}
+	// FCFS thrashes rows relative to F3FS on the same work: it must not
+	// be cheaper per request.
+	if pts[0].PerRequestNJ < pts[1].PerRequestNJ {
+		t.Errorf("fcfs %.2f nJ/req cheaper than f3fs %.2f", pts[0].PerRequestNJ, pts[1].PerRequestNJ)
+	}
+	if EnergyTable(pts) == "" {
+		t.Error("empty table")
+	}
+	if _, err := r.EnergySweep("G8", "P2", []string{"nope"}, config.VC2, energyModel()); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestDualBufferAblation(t *testing.T) {
+	r := quickRunner()
+	pts, err := r.DualBufferAblation("G8", "P2", []string{"fcfs", "f3fs"}, config.VC2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		// The dual buffer's whole effect: switch-induced conflicts
+		// disappear.
+		if p.DualConflictsPerSwitch != 0 {
+			t.Errorf("%s: dual-buffer conflicts/switch = %v, want 0", p.Policy, p.DualConflictsPerSwitch)
+		}
+		if p.ConflictsPerSwitch == 0 {
+			t.Errorf("%s: shared-buffer conflicts/switch = 0; scenario too gentle", p.Policy)
+		}
+	}
+	// The frequent switcher (FCFS) must gain more throughput from the
+	// dual buffer than the rare switcher (F3FS).
+	gain := func(p DualBufferPoint) float64 { return p.DualThroughput - p.Throughput }
+	if gain(pts[0]) <= gain(pts[1]) {
+		t.Errorf("fcfs gain %.3f not above f3fs gain %.3f", gain(pts[0]), gain(pts[1]))
+	}
+	if DualBufferTable(pts) == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestUnknownKernelAndPolicyErrors(t *testing.T) {
+	r := quickRunner()
+	if _, err := r.Competitive("G99", "P1", "f3fs", config.VC1); err == nil {
+		t.Error("unknown GPU kernel accepted")
+	}
+	if _, err := r.Competitive("G8", "P99", "f3fs", config.VC1); err == nil {
+		t.Error("unknown PIM kernel accepted")
+	}
+	if _, err := r.Competitive("G8", "P1", "nope", config.VC1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

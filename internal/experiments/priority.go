@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// PriorityPoint is one point of the process-priority study: the Sec. VII
+// future-work direction where system software encodes competitive process
+// priorities as asymmetric F3FS CAPs.
+type PriorityPoint struct {
+	MemPriority, PIMPriority int
+	MemCap, PIMCap           int
+	GPUSpeedup, PIMSpeedup   float64
+	Fairness, Throughput     float64
+}
+
+// PrioritySweep runs one GPU/PIM pair under F3FS with CAPs derived from
+// each priority ratio (core.CapsForPriorities over the given budget),
+// averaged across the supplied kernel pairs.
+func (r *Runner) PrioritySweep(gpuIDs, pimIDs []string, ratios [][2]int, budget int, mode config.VCMode) ([]PriorityPoint, error) {
+	rf := r.Cfg.PIM.RFPerBank()
+	var out []PriorityPoint
+	for _, ratio := range ratios {
+		memCap, pimCap := core.CapsForPriorities(ratio[0], ratio[1], budget, rf)
+		factory := func() sched.Policy { return core.NewF3FS(memCap, pimCap) }
+		var gs, ps, fis, sts []float64
+		for _, g := range gpuIDs {
+			for _, p := range pimIDs {
+				pair, err := r.competitiveWithFactory(g, p, factory, mode)
+				if err != nil {
+					return nil, err
+				}
+				gs = append(gs, pair.GPUSpeedup)
+				ps = append(ps, pair.PIMSpeedup)
+				fis = append(fis, pair.Fairness)
+				sts = append(sts, pair.Throughput)
+			}
+		}
+		out = append(out, PriorityPoint{
+			MemPriority: ratio[0], PIMPriority: ratio[1],
+			MemCap: memCap, PIMCap: pimCap,
+			GPUSpeedup: stats.Mean(gs), PIMSpeedup: stats.Mean(ps),
+			Fairness: stats.Mean(fis), Throughput: stats.Mean(sts),
+		})
+	}
+	return out, nil
+}
+
+// PriorityTable renders the priority study.
+func PriorityTable(points []PriorityPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-12s %9s %9s %8s %8s\n", "mem:pim", "caps", "gpu-spd", "pim-spd", "FI", "ST")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%4d:%-5d %5d/%-6d %9.3f %9.3f %8.3f %8.3f\n",
+			p.MemPriority, p.PIMPriority, p.MemCap, p.PIMCap,
+			p.GPUSpeedup, p.PIMSpeedup, p.Fairness, p.Throughput)
+	}
+	return b.String()
+}

@@ -1,0 +1,350 @@
+// Package experiments contains one harness per table/figure of the
+// paper's evaluation (the per-experiment index in DESIGN.md maps each
+// harness to its figure). Every harness runs real simulations through
+// internal/sim and reduces them to the quantities the paper plots:
+// fairness index and system throughput (Fig. 8, 13), normalized MEM
+// arrival rates (Fig. 6), mode-switch counts and overheads (Fig. 10),
+// LLM speedups (Fig. 11), the F3FS component ablation (Fig. 14a) and the
+// interconnect queue sensitivity (Fig. 14b).
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Runner executes simulations at a fixed configuration and scale, caching
+// the standalone baselines that speedups are normalized against
+// (Sec. III-C: execution time alone on all SMs for GPU kernels and on the
+// PIM SMs for PIM kernels).
+type Runner struct {
+	// Cfg is the base configuration; harnesses override the VC mode and
+	// scheduler knobs per run.
+	Cfg config.Config
+	// Scale shrinks every kernel uniformly (1.0 = profile defaults).
+	Scale float64
+	// Parallel bounds concurrent simulations (defaults to 1; sweeps in
+	// cmd/pimsweep raise it).
+	Parallel int
+
+	mu        sync.Mutex
+	aloneGPU  map[string]Standalone
+	aloneGPUn map[int]map[string]Standalone // keyed by SM count
+	alonePIM  map[string]Standalone
+
+	llmQKV, llmMHA uint64 // cached standalone LLM stage times
+	llmValid       bool
+}
+
+// Standalone summarizes a kernel running alone.
+type Standalone struct {
+	// Cycles is the first-run completion time in GPU cycles.
+	Cycles uint64
+	// NoCRate and MCRate are arrival rates in requests per kilo-GPU-
+	// cycle (Fig. 4a/4b).
+	NoCRate, MCRate float64
+	// BLP and RBHR are the DRAM utilization characteristics (Fig. 4c/4d).
+	BLP, RBHR float64
+}
+
+// NewRunner builds a runner. scale <= 0 defaults to 1.
+func NewRunner(cfg config.Config, scale float64) *Runner {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Runner{
+		Cfg:       cfg,
+		Scale:     scale,
+		Parallel:  1,
+		aloneGPU:  make(map[string]Standalone),
+		aloneGPUn: make(map[int]map[string]Standalone),
+		alonePIM:  make(map[string]Standalone),
+	}
+}
+
+func (r *Runner) baseCfg(mode config.VCMode) config.Config {
+	cfg := r.Cfg
+	cfg.NoC.Mode = mode
+	return cfg
+}
+
+func standaloneFrom(res *sim.Result, app int, pim bool) Standalone {
+	tc := res.Stats.TotalChannel()
+	s := Standalone{
+		Cycles:  res.Kernels[app].FirstFinish,
+		NoCRate: res.Stats.NoCArrivalRate(app),
+		MCRate:  res.Stats.MCArrivalRate(app),
+		BLP:     tc.BLP(),
+		RBHR:    tc.RBHR(),
+	}
+	if pim {
+		total := tc.PIMRowHits + tc.PIMRowMisses
+		if total > 0 {
+			s.RBHR = float64(tc.PIMRowHits) / float64(total)
+		}
+	}
+	return s
+}
+
+// StandaloneGPU runs (and caches) GPU kernel id alone on every SM.
+func (r *Runner) StandaloneGPU(id string) (Standalone, error) {
+	r.mu.Lock()
+	if s, ok := r.aloneGPU[id]; ok {
+		r.mu.Unlock()
+		return s, nil
+	}
+	r.mu.Unlock()
+	s, err := r.StandaloneGPUOn(id, r.Cfg.GPU.NumSMs)
+	if err != nil {
+		return Standalone{}, err
+	}
+	r.mu.Lock()
+	r.aloneGPU[id] = s
+	r.mu.Unlock()
+	return s, nil
+}
+
+// StandaloneGPUOn runs (and caches) GPU kernel id alone on n SMs (the
+// GPU-8 and 72-SM configurations of Figs. 4 and 5).
+func (r *Runner) StandaloneGPUOn(id string, n int) (Standalone, error) {
+	r.mu.Lock()
+	if m := r.aloneGPUn[n]; m != nil {
+		if s, ok := m[id]; ok {
+			r.mu.Unlock()
+			return s, nil
+		}
+	}
+	r.mu.Unlock()
+
+	prof, err := workload.GPUProfileByID(id)
+	if err != nil {
+		return Standalone{}, err
+	}
+	cfg := r.baseCfg(config.VC1)
+	sys, err := sim.New(cfg, core.Factory("fr-fcfs", cfg.Sched), []sim.KernelDesc{
+		{GPU: &prof, SMs: sim.SomeSMs(cfg, n), Scale: r.Scale},
+	})
+	if err != nil {
+		return Standalone{}, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return Standalone{}, err
+	}
+	if !res.Kernels[0].Finished {
+		return Standalone{}, fmt.Errorf("experiments: standalone %s on %d SMs did not finish", id, n)
+	}
+	s := standaloneFrom(res, 0, false)
+	r.mu.Lock()
+	if r.aloneGPUn[n] == nil {
+		r.aloneGPUn[n] = make(map[string]Standalone)
+	}
+	r.aloneGPUn[n][id] = s
+	r.mu.Unlock()
+	return s, nil
+}
+
+// StandalonePIM runs (and caches) PIM kernel id alone on the PIM SMs.
+func (r *Runner) StandalonePIM(id string) (Standalone, error) {
+	r.mu.Lock()
+	if s, ok := r.alonePIM[id]; ok {
+		r.mu.Unlock()
+		return s, nil
+	}
+	r.mu.Unlock()
+
+	prof, err := workload.PIMProfileByID(id)
+	if err != nil {
+		return Standalone{}, err
+	}
+	cfg := r.baseCfg(config.VC1)
+	_, pimSMs := sim.GPUAndPIMSMs(cfg)
+	sys, err := sim.New(cfg, core.Factory("fr-fcfs", cfg.Sched), []sim.KernelDesc{
+		{PIM: &prof, SMs: pimSMs, Scale: r.Scale, Base: 1 << 30},
+	})
+	if err != nil {
+		return Standalone{}, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return Standalone{}, err
+	}
+	if !res.Kernels[0].Finished {
+		return Standalone{}, fmt.Errorf("experiments: standalone %s did not finish", id)
+	}
+	s := standaloneFrom(res, 0, true)
+	r.mu.Lock()
+	r.alonePIM[id] = s
+	r.mu.Unlock()
+	return s, nil
+}
+
+// Pair is the outcome of one competitive co-execution.
+type Pair struct {
+	GPUID, PIMID string
+	Policy       string
+	Mode         config.VCMode
+
+	// GPUSpeedup and PIMSpeedup follow Sec. III-C (alone / contended;
+	// partial progress is linearly extrapolated, total starvation is 0).
+	GPUSpeedup, PIMSpeedup float64
+	// Fairness is Eq. 1; Throughput the speedup sum.
+	Fairness, Throughput float64
+
+	// MemArrivalNorm is the GPU kernel's MC arrival rate under
+	// contention normalized to standalone (Fig. 6).
+	MemArrivalNorm float64
+
+	// Switches, ConflictsPerSwitch and DrainPerSwitch are the Fig. 10
+	// overheads (totals across channels; drain in DRAM cycles).
+	Switches           uint64
+	ConflictsPerSwitch float64
+	DrainPerSwitch     float64
+
+	// AvgMemQ and AvgPIMQ are the average controller queue occupancies
+	// per channel (the Fig. 7 congestion signal).
+	AvgMemQ, AvgPIMQ float64
+
+	// Aborted marks runs that starved before both kernels finished.
+	Aborted bool
+}
+
+func speedup(alone uint64, contended uint64) float64 {
+	if contended == 0 {
+		return 0
+	}
+	return float64(alone) / float64(contended)
+}
+
+// Competitive runs GPU kernel gpuID against PIM kernel pimID under the
+// given policy and interconnect mode, returning the paper's metrics.
+func (r *Runner) Competitive(gpuID, pimID, policy string, mode config.VCMode) (Pair, error) {
+	gAlone, err := r.StandaloneGPU(gpuID)
+	if err != nil {
+		return Pair{}, err
+	}
+	pAlone, err := r.StandalonePIM(pimID)
+	if err != nil {
+		return Pair{}, err
+	}
+	gProf, err := workload.GPUProfileByID(gpuID)
+	if err != nil {
+		return Pair{}, err
+	}
+	pProf, err := workload.PIMProfileByID(pimID)
+	if err != nil {
+		return Pair{}, err
+	}
+	cfg := r.baseCfg(mode)
+	factory := core.Factory(policy, cfg.Sched)
+	if factory == nil {
+		return Pair{}, fmt.Errorf("experiments: unknown policy %q", policy)
+	}
+	gpuSMs, pimSMs := sim.GPUAndPIMSMs(cfg)
+	sys, err := sim.New(cfg, factory, []sim.KernelDesc{
+		{GPU: &gProf, SMs: gpuSMs, Scale: r.Scale},
+		{PIM: &pProf, SMs: pimSMs, Scale: r.Scale, Base: 1 << 30},
+	})
+	if err != nil {
+		return Pair{}, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return Pair{}, err
+	}
+	tc := res.Stats.TotalChannel()
+	p := Pair{
+		GPUID: gpuID, PIMID: pimID, Policy: policy, Mode: mode,
+		GPUSpeedup:         speedup(gAlone.Cycles, res.Kernels[0].EstFinish),
+		PIMSpeedup:         speedup(pAlone.Cycles, res.Kernels[1].EstFinish),
+		Switches:           tc.Switches,
+		ConflictsPerSwitch: tc.ConflictsPerSwitch(),
+		DrainPerSwitch:     tc.DrainPerSwitch(),
+		// Summing occupancy and samples across channels yields the
+		// per-channel per-cycle average directly.
+		AvgMemQ: tc.AvgMemQ(),
+		AvgPIMQ: tc.AvgPIMQ(),
+		Aborted: res.Aborted,
+	}
+	p.Fairness = stats.FairnessIndex(p.GPUSpeedup, p.PIMSpeedup)
+	p.Throughput = stats.SystemThroughput(p.GPUSpeedup, p.PIMSpeedup)
+	if gAlone.MCRate > 0 {
+		p.MemArrivalNorm = res.Stats.MCArrivalRate(0) / gAlone.MCRate
+	}
+	return p, nil
+}
+
+// DefaultGPUKernels and DefaultPIMKernels are the quick-sweep subsets
+// used by tests and benchmarks; cmd/pimsweep -full runs all 20 x 9.
+var (
+	DefaultGPUKernels = []string{"G4", "G8", "G17"}
+	DefaultPIMKernels = []string{"P1", "P2"}
+)
+
+// AllGPUKernels returns G1..G20.
+func AllGPUKernels() []string {
+	ids := make([]string, 0, 20)
+	for _, p := range workload.GPUProfiles() {
+		ids = append(ids, p.ID)
+	}
+	return ids
+}
+
+// AllPIMKernels returns P1..P9.
+func AllPIMKernels() []string {
+	ids := make([]string, 0, 9)
+	for _, p := range workload.PIMProfiles() {
+		ids = append(ids, p.ID)
+	}
+	return ids
+}
+
+// forEachPair runs fn over the cross product, optionally in parallel, and
+// collects results in deterministic order.
+func (r *Runner) forEachPair(gpuIDs, pimIDs []string, fn func(g, p string) error) error {
+	workers := r.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	type job struct{ g, p string }
+	jobs := make([]job, 0, len(gpuIDs)*len(pimIDs))
+	for _, g := range gpuIDs {
+		for _, p := range pimIDs {
+			jobs = append(jobs, job{g, p})
+		}
+	}
+	if workers == 1 {
+		for _, j := range jobs {
+			if err := fn(j.g, j.p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, workers)
+	errc := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errc <- fn(j.g, j.p)
+		}(j)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package llm
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/request"
+)
+
+func TestGPT3LikeShape(t *testing.T) {
+	m := GPT3Like()
+	if m.Batch != 128 || m.SeqLen != 1024 || m.Embed != 4096 {
+		t.Errorf("model shape %+v, want 128/1024/4096 (Sec. III-B)", m)
+	}
+}
+
+func TestQKVProfileIsHighLocalityGEMM(t *testing.T) {
+	p := GPT3Like().QKVProfile()
+	if p.Locality < 0.7 {
+		t.Errorf("QKV locality %.2f; GEMM tiles should walk rows", p.Locality)
+	}
+	if p.Reuse < 0.3 {
+		t.Errorf("QKV reuse %.2f; weights are re-referenced across the batch", p.Reuse)
+	}
+	if p.Requests <= 0 || p.Interval <= 0 {
+		t.Errorf("degenerate sizing: %+v", p)
+	}
+}
+
+func TestMHAProfileBlockShape(t *testing.T) {
+	p := GPT3Like().MHAProfile()
+	if len(p.Segments) < 3 {
+		t.Fatalf("MHA needs load/compute/store structure, got %d segments", len(p.Segments))
+	}
+	if p.Segments[0].Op != request.PIMLoad {
+		t.Error("MHA block must start by loading the query fragment into the RF")
+	}
+	if p.Segments[len(p.Segments)-1].Op != request.PIMStore {
+		t.Error("MHA block must end by storing the attention output")
+	}
+	for _, s := range p.Segments {
+		if s.Ops%8 != 0 {
+			t.Errorf("segment ops %d not a multiple of the per-bank RF", s.Ops)
+		}
+	}
+}
+
+func TestScenarioPartitionsSMs(t *testing.T) {
+	cfg := config.Scaled()
+	qkv, mha := GPT3Like().Scenario(cfg, 0.5)
+	if qkv.GPU == nil || mha.PIM == nil {
+		t.Fatal("descriptor kinds wrong")
+	}
+	if len(qkv.SMs)+len(mha.SMs) != cfg.GPU.NumSMs {
+		t.Errorf("SM partition %d+%d != %d", len(qkv.SMs), len(mha.SMs), cfg.GPU.NumSMs)
+	}
+	if len(mha.SMs) != cfg.GPU.PIMSMs {
+		t.Errorf("MHA on %d SMs, want %d", len(mha.SMs), cfg.GPU.PIMSMs)
+	}
+	if qkv.Scale != 0.5 || mha.Scale != 0.5 {
+		t.Error("scale not propagated")
+	}
+	// Disjoint address regions (separate allocations).
+	if mha.Base == qkv.Base {
+		t.Error("QKV and MHA share an address region base")
+	}
+}

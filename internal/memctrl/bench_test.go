@@ -1,0 +1,103 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/request"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// BenchmarkControllerTickMEM measures the per-DRAM-cycle cost of a
+// controller saturated with MEM traffic under FR-FCFS — the simulator's
+// hottest path.
+func BenchmarkControllerTickMEM(b *testing.B) {
+	cfg := config.Paper()
+	var st stats.Channel
+	c := New(0, cfg, sched.NewFRFCFS(), &st, nil)
+	rng := rand.New(rand.NewSource(1))
+	var id uint64
+	refill := func() {
+		for c.CanAccept(request.MemRead) {
+			id++
+			c.Enqueue(&request.Request{
+				ID: id, Kind: request.MemRead,
+				Bank: rng.Intn(cfg.Memory.Banks), Row: uint32(rng.Intn(64)),
+			})
+		}
+	}
+	refill()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick(uint64(i))
+		if i%32 == 0 {
+			refill()
+		}
+	}
+}
+
+// BenchmarkControllerTickPIM measures the lockstep PIM path.
+func BenchmarkControllerTickPIM(b *testing.B) {
+	cfg := config.Paper()
+	var st stats.Channel
+	c := New(0, cfg, sched.NewPIMFirst(), &st, nil)
+	var id uint64
+	block := 0
+	refill := func() {
+		for c.CanAccept(request.PIMOp) {
+			id++
+			c.Enqueue(&request.Request{
+				ID: id, Kind: request.PIMOp, Row: uint32(block % 64),
+				PIM: &request.PIMInfo{Op: request.PIMLoad, RFEntry: int(id % 8), Block: block},
+			})
+			if id%24 == 0 {
+				block++
+			}
+		}
+	}
+	refill()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick(uint64(i))
+		if i%64 == 0 {
+			refill()
+		}
+	}
+}
+
+// BenchmarkControllerTickMixed measures MEM/PIM contention with mode
+// switching under F3FS-like competitive conditions (FR-FCFS here to stay
+// within this package).
+func BenchmarkControllerTickMixed(b *testing.B) {
+	cfg := config.Paper()
+	var st stats.Channel
+	c := New(0, cfg, sched.NewFRRRFCFS(), &st, nil)
+	rng := rand.New(rand.NewSource(2))
+	var id uint64
+	block := 0
+	refill := func() {
+		for c.CanAccept(request.MemRead) {
+			id++
+			c.Enqueue(&request.Request{ID: id, Kind: request.MemRead,
+				Bank: rng.Intn(cfg.Memory.Banks), Row: uint32(rng.Intn(64))})
+		}
+		for c.CanAccept(request.PIMOp) {
+			id++
+			c.Enqueue(&request.Request{ID: id, Kind: request.PIMOp, Row: uint32(block % 64),
+				PIM: &request.PIMInfo{Op: request.PIMLoad, RFEntry: int(id % 8), Block: block}})
+			if id%24 == 0 {
+				block++
+			}
+		}
+	}
+	refill()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick(uint64(i))
+		if i%64 == 0 {
+			refill()
+		}
+	}
+}

@@ -1,0 +1,487 @@
+// Package memctrl implements the per-channel memory controller of Fig. 1:
+// separate MEM and PIM queues (64 entries each in Table I), an arbiter
+// that switches between MEM and PIM modes under a pluggable scheduling
+// policy, an FR-FCFS engine within MEM mode, FCFS execution of PIM
+// requests, and the mode-switch drain semantics of Fig. 9 — a MEM->PIM
+// switch stalls new issue and waits for every in-flight MEM request to
+// complete, accumulating bank idle time that the statistics record as
+// drain latency.
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/pim"
+	"repro/internal/request"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// CompletionFunc is invoked when a request finishes at the DRAM (data
+// returned for reads, write recovery elapsed for writes, lockstep op
+// executed for PIM). now is the DRAM cycle of completion.
+type CompletionFunc func(req *request.Request, now uint64)
+
+type inflight struct {
+	req    *request.Request
+	doneAt uint64
+}
+
+// Controller is one channel's memory controller.
+type Controller struct {
+	channelID int
+	mem       config.Memory
+	ch        *dram.Channel
+	units     *pim.Units
+	policy    sched.Policy
+	st        *stats.Channel
+	complete  CompletionFunc
+
+	memQ []*request.Request
+	pimQ []*request.Request
+	seq  uint64
+
+	mode       sched.Mode
+	switching  bool
+	target     sched.Mode
+	drainStart uint64
+
+	inflight []inflight
+	now      uint64
+
+	tr *trace.Recorder // nil = tracing off
+
+	// Scratch buffers for the FR-FCFS engine, reused across cycles.
+	candOldest []*request.Request
+	candHit    []*request.Request
+	candList   []*request.Request
+}
+
+// New builds a controller for one channel. st and complete may be nil.
+func New(channelID int, cfg config.Config, policy sched.Policy, st *stats.Channel, complete CompletionFunc) *Controller {
+	return &Controller{
+		channelID:  channelID,
+		mem:        cfg.Memory,
+		ch:         dram.NewChannel(cfg.Memory, cfg.PIM, st),
+		units:      pim.NewUnits(cfg.Memory, cfg.PIM),
+		policy:     policy,
+		st:         st,
+		complete:   complete,
+		memQ:       make([]*request.Request, 0, cfg.Memory.MemQSize),
+		pimQ:       make([]*request.Request, 0, cfg.Memory.PIMQSize),
+		mode:       sched.ModeMEM,
+		candOldest: make([]*request.Request, cfg.Memory.Banks),
+		candHit:    make([]*request.Request, cfg.Memory.Banks),
+		candList:   make([]*request.Request, 0, cfg.Memory.Banks),
+	}
+}
+
+// Channel exposes the DRAM timing model (tests and detailed probes).
+func (c *Controller) Channel() *dram.Channel { return c.ch }
+
+// SetTrace installs an event recorder (nil disables tracing).
+func (c *Controller) SetTrace(tr *trace.Recorder) { c.tr = tr }
+
+// Trace returns the installed recorder, if any.
+func (c *Controller) Trace() *trace.Recorder { return c.tr }
+
+func (c *Controller) record(kind trace.Kind, bank int, row uint32, reqID uint64, note string) {
+	if c.tr == nil {
+		return
+	}
+	c.tr.Record(trace.Event{
+		Cycle: c.now, Kind: kind, Channel: c.channelID,
+		Bank: bank, Row: row, ReqID: reqID, Note: note,
+	})
+}
+
+// Units exposes the PIM functional units.
+func (c *Controller) Units() *pim.Units { return c.units }
+
+// Mode returns the currently serviced mode.
+func (c *Controller) Mode() sched.Mode { return c.mode }
+
+// Switching reports whether a drain toward a mode switch is in progress.
+func (c *Controller) Switching() bool { return c.switching }
+
+// Policy returns the installed scheduling policy.
+func (c *Controller) Policy() sched.Policy { return c.policy }
+
+// CanAccept reports whether a request of the given kind has queue space.
+func (c *Controller) CanAccept(kind request.Kind) bool {
+	if kind == request.PIMOp {
+		return len(c.pimQ) < c.mem.PIMQSize
+	}
+	return len(c.memQ) < c.mem.MemQSize
+}
+
+// Enqueue admits a request, stamping its controller arrival order (the
+// age used by F3FS) and arrival cycle. It returns false without side
+// effects when the corresponding queue is full.
+func (c *Controller) Enqueue(req *request.Request) bool {
+	if !c.CanAccept(req.Kind) {
+		return false
+	}
+	req.SeqNo = c.seq
+	c.seq++
+	req.ArriveMCCycle = c.now
+	req.RowClassified = false
+	if req.Kind == request.PIMOp {
+		c.pimQ = append(c.pimQ, req)
+	} else {
+		c.memQ = append(c.memQ, req)
+	}
+	c.record(trace.EvEnqueue, req.Bank, req.Row, req.ID, req.Kind.String())
+	return true
+}
+
+// QueueLens returns the current MEM and PIM queue occupancies.
+func (c *Controller) QueueLens() (mem, pim int) { return len(c.memQ), len(c.pimQ) }
+
+// Pending reports whether any work remains queued or in flight.
+func (c *Controller) Pending() bool {
+	return len(c.memQ) > 0 || len(c.pimQ) > 0 || len(c.inflight) > 0
+}
+
+// --- sched.View ----------------------------------------------------------
+
+type view struct{ c *Controller }
+
+func (v view) Now() uint64      { return v.c.now }
+func (v view) Mode() sched.Mode { return v.c.mode }
+func (v view) MemQLen() int     { return len(v.c.memQ) }
+func (v view) PIMQLen() int     { return len(v.c.pimQ) }
+
+func (v view) OldestOverall() (sched.Mode, bool) {
+	c := v.c
+	switch {
+	case len(c.memQ) == 0 && len(c.pimQ) == 0:
+		return sched.ModeMEM, false
+	case len(c.memQ) == 0:
+		return sched.ModePIM, true
+	case len(c.pimQ) == 0:
+		return sched.ModeMEM, true
+	case c.memQ[0].SeqNo < c.pimQ[0].SeqNo:
+		return sched.ModeMEM, true
+	default:
+		return sched.ModePIM, true
+	}
+}
+
+func (v view) MemRowHitAvailable() bool {
+	for _, r := range v.c.memQ {
+		if v.c.ch.IsRowHit(r.Bank, r.Row) {
+			return true
+		}
+	}
+	return false
+}
+
+func (v view) PIMHeadRowOpen() bool {
+	c := v.c
+	return len(c.pimQ) > 0 && c.ch.PIMRowOpen(c.pimQ[0].Row)
+}
+
+// View returns the policy-facing view of the controller (exposed for
+// policy unit tests).
+func (c *Controller) View() sched.View { return view{c} }
+
+// --- tick ----------------------------------------------------------------
+
+// Tick advances the controller by one DRAM cycle: completes in-flight
+// requests, arbitrates the mode (starting or finishing a drain), and
+// issues at most one DRAM command.
+func (c *Controller) Tick(now uint64) {
+	c.now = now
+	c.ch.Tick(now)
+	if c.st != nil {
+		c.st.MemQOccupancySum += uint64(len(c.memQ))
+		c.st.PIMQOccupancySum += uint64(len(c.pimQ))
+		c.st.SampledCycles++
+	}
+	c.completeInflight(now)
+	if c.ch.RefreshDue(now) {
+		// All-bank refresh outranks mode arbitration: stall new issue,
+		// drain in-flight requests, close every bank and refresh.
+		if !c.drained() {
+			return
+		}
+		if c.ch.AnyBankOpen() {
+			if c.ch.CanPrechargeAllBanks(now) {
+				c.ch.RefreshPrechargeAll(now)
+			}
+			return
+		}
+		if c.ch.CanRefresh(now) {
+			c.ch.Refresh(now)
+			c.record(trace.EvRefresh, -1, 0, 0, "")
+		}
+		return
+	}
+	c.arbitrate(now)
+	if c.switching {
+		if !c.drained() {
+			return // draining: no new issue in any mode
+		}
+		c.finishSwitch(now)
+	}
+	if c.mode == sched.ModeMEM {
+		c.issueMEM(now)
+	} else {
+		c.issuePIM(now)
+	}
+}
+
+func (c *Controller) completeInflight(now uint64) {
+	kept := c.inflight[:0]
+	for _, f := range c.inflight {
+		if f.doneAt <= now {
+			c.record(trace.EvComplete, f.req.Bank, f.req.Row, f.req.ID, "")
+			if c.complete != nil {
+				c.complete(f.req, now)
+			}
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	c.inflight = kept
+}
+
+func (c *Controller) drained() bool { return len(c.inflight) == 0 }
+
+func (c *Controller) arbitrate(now uint64) {
+	if c.switching {
+		return // committed to the latched target
+	}
+	desired := c.policy.DesiredMode(view{c})
+	if desired == c.mode {
+		return
+	}
+	c.switching = true
+	c.target = desired
+	c.drainStart = now
+	c.record(trace.EvSwitchStart, -1, 0, 0, c.mode.String()+"->"+desired.String())
+}
+
+func (c *Controller) finishSwitch(now uint64) {
+	from := c.mode
+	c.mode = c.target
+	c.switching = false
+	if c.st != nil {
+		c.st.Switches++
+		if from == sched.ModeMEM && c.mode == sched.ModePIM {
+			c.st.MemToPIMSwitches++
+			c.st.DrainLatencySum += now - c.drainStart
+		}
+	}
+	c.policy.OnSwitch(view{c}, c.mode)
+	c.record(trace.EvSwitchDone, -1, 0, 0, from.String()+"->"+c.mode.String())
+}
+
+// --- MEM mode: FR-FCFS engine ----------------------------------------------
+
+// memCandidates computes, per bank, the request the engine would service
+// next: the oldest row hit when row hits are allowed, otherwise the oldest
+// request for that bank. When rowHitsAllowed is false the engine is in
+// strict oldest-first territory and only the globally oldest MEM request
+// is a candidate. The returned slice is scratch storage valid until the
+// next call.
+func (c *Controller) memCandidates(rowHitsAllowed bool) []*request.Request {
+	if len(c.memQ) == 0 {
+		return nil
+	}
+	c.candList = c.candList[:0]
+	if !rowHitsAllowed {
+		c.candList = append(c.candList, c.memQ[0])
+		return c.candList
+	}
+	for i := range c.candOldest {
+		c.candOldest[i] = nil
+		c.candHit[i] = nil
+	}
+	for _, r := range c.memQ {
+		if c.candOldest[r.Bank] == nil {
+			c.candOldest[r.Bank] = r
+		}
+		if c.candHit[r.Bank] == nil && c.ch.IsRowHit(r.Bank, r.Row) {
+			c.candHit[r.Bank] = r
+		}
+	}
+	for bank, r := range c.candOldest {
+		if r == nil {
+			continue
+		}
+		if h := c.candHit[bank]; h != nil {
+			c.candList = append(c.candList, h)
+		} else {
+			c.candList = append(c.candList, r)
+		}
+	}
+	return c.candList
+}
+
+// classifyMem records a MEM request's hit/miss classification exactly once.
+func (c *Controller) classifyMem(r *request.Request, hit bool) {
+	if r.RowClassified {
+		return
+	}
+	r.RowClassified = true
+	r.WasRowHit = hit
+	if hit {
+		c.ch.NoteRowHit()
+	} else {
+		c.ch.NoteRowMiss(r.Bank)
+	}
+}
+
+// issueMEM issues at most one DRAM command for the MEM queue, following
+// the priority (1) column command for the oldest serviceable row-hit
+// candidate, (2) activate/precharge preparation for the oldest
+// non-hitting candidate, subject to the policy's bypass and
+// conflict-service gates. When conflict service is disallowed (the
+// FR-FCFS conflict-bit stall), non-hitting banks idle until the policy
+// switches modes.
+func (c *Controller) issueMEM(now uint64) {
+	if len(c.memQ) == 0 {
+		return
+	}
+	v := view{c}
+	rowHits := c.policy.MemRowHitsAllowed(v)
+	conflictsOK := c.policy.MemConflictServiceAllowed(v)
+	cands := c.memCandidates(rowHits)
+
+	// 1) Oldest candidate with an issuable column command.
+	var col *request.Request
+	for _, r := range cands {
+		if c.ch.CanColumn(r.Bank, r.Row, r.IsWrite(), now) {
+			if col == nil || r.SeqNo < col.SeqNo {
+				col = r
+			}
+		}
+	}
+	if col != nil {
+		c.classifyMem(col, true)
+		var done uint64
+		if c.mem.Page == config.PageClosed {
+			done = c.ch.ColumnAP(col.Bank, col.Row, col.IsWrite(), now)
+		} else {
+			done = c.ch.Column(col.Bank, col.Row, col.IsWrite(), now)
+		}
+		c.record(trace.EvColumn, col.Bank, col.Row, col.ID, col.Kind.String())
+		c.removeMem(col)
+		c.inflight = append(c.inflight, inflight{req: col, doneAt: done})
+		c.notifyIssue(v, col, col.WasRowHit)
+		return
+	}
+
+	if !conflictsOK {
+		return // conflicted banks stall awaiting a mode switch
+	}
+
+	// 2) Bank preparation for the oldest candidate that misses.
+	var prep *request.Request
+	for _, r := range cands {
+		if c.ch.IsRowHit(r.Bank, r.Row) {
+			continue // row open; waiting on tCCD or the data bus
+		}
+		if prep == nil || r.SeqNo < prep.SeqNo {
+			prep = r
+		}
+	}
+	if prep == nil {
+		return
+	}
+	state, openRow := c.ch.State(prep.Bank)
+	switch {
+	case state == dram.Closed && c.ch.CanActivate(prep.Bank, now):
+		c.classifyMem(prep, false)
+		c.ch.Activate(prep.Bank, prep.Row, now)
+		c.record(trace.EvActivate, prep.Bank, prep.Row, prep.ID, "")
+	case state == dram.Open && openRow != prep.Row && c.ch.CanPrecharge(prep.Bank, now):
+		c.classifyMem(prep, false)
+		c.ch.Precharge(prep.Bank, now)
+		c.record(trace.EvPrecharge, prep.Bank, openRow, prep.ID, "")
+	}
+}
+
+func (c *Controller) removeMem(r *request.Request) {
+	for i, q := range c.memQ {
+		if q == r {
+			c.memQ = append(c.memQ[:i], c.memQ[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("memctrl: request %v not in MEM queue", r))
+}
+
+// --- PIM mode: FCFS lockstep engine ------------------------------------------
+
+// issuePIM services the head of the PIM queue: a lockstep op when the
+// all-bank row is open, otherwise broadcast precharge/activate to open the
+// head's row. A head request first observed with its row closed (a block
+// boundary) is classified as a lockstep miss.
+func (c *Controller) issuePIM(now uint64) {
+	if len(c.pimQ) == 0 {
+		return
+	}
+	head := c.pimQ[0]
+	v := view{c}
+	if c.ch.PIMRowOpen(head.Row) {
+		if !c.ch.CanPIMOp(head.Row, now) {
+			return
+		}
+		hit := !head.RowClassified // never saw a row change for this op
+		head.RowClassified = true
+		head.WasRowHit = hit
+		if err := c.units.Execute(head.PIM); err != nil {
+			panic(fmt.Sprintf("memctrl: channel %d: %v", c.channelID, err))
+		}
+		done := c.ch.PIMOp(head.Row, hit, now)
+		c.record(trace.EvPIMOp, -1, head.Row, head.ID, head.PIM.Op.String())
+		c.pimQ = c.pimQ[1:]
+		c.inflight = append(c.inflight, inflight{req: head, doneAt: done})
+		c.notifyIssue(v, head, hit)
+		return
+	}
+	head.RowClassified = true // row change observed: lockstep miss
+	if c.ch.NeedsPIMPrecharge() {
+		if c.ch.CanPIMPrechargeAll(now) {
+			c.ch.PIMPrechargeAll(now)
+			c.record(trace.EvPIMPrechargeAll, -1, 0, head.ID, "")
+		}
+		return
+	}
+	if c.ch.CanPIMActivateAll(now) {
+		c.ch.PIMActivateAll(head.Row, now)
+		c.record(trace.EvPIMActivateAll, -1, head.Row, head.ID, "")
+	}
+}
+
+func (c *Controller) notifyIssue(v sched.View, r *request.Request, rowHit bool) {
+	info := sched.IssueInfo{RowHit: rowHit}
+	if r.Kind == request.PIMOp {
+		info.Mode = sched.ModePIM
+		info.BypassedOlderOtherMode = len(c.memQ) > 0 && c.memQ[0].SeqNo < r.SeqNo
+		// PIM executes FCFS, so same-mode bypass is impossible.
+	} else {
+		info.Mode = sched.ModeMEM
+		info.BypassedOlderOtherMode = len(c.pimQ) > 0 && c.pimQ[0].SeqNo < r.SeqNo
+		info.BypassedOlderSameMode = len(c.memQ) > 0 && c.memQ[0].SeqNo < r.SeqNo
+	}
+	c.policy.OnIssue(v, info)
+}
+
+// Reset clears queues, in-flight state and policy counters for a fresh
+// kernel launch while keeping DRAM timing state (rows stay open, as they
+// would on hardware).
+func (c *Controller) Reset() {
+	c.memQ = c.memQ[:0]
+	c.pimQ = c.pimQ[:0]
+	c.inflight = c.inflight[:0]
+	c.switching = false
+	c.policy.Reset()
+	c.units.Reset()
+}

@@ -1,0 +1,42 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/request"
+)
+
+func benchNetwork(b *testing.B, mode config.VCMode) {
+	cfg := config.Paper()
+	cfg.NoC.Mode = mode
+	n := New(cfg)
+	rng := rand.New(rand.NewSource(3))
+	var id uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Keep ports loaded and outputs draining, as in a real run.
+		for sm := 0; sm < cfg.GPU.NumSMs; sm += 4 {
+			id++
+			r := &request.Request{ID: id, Kind: request.MemRead, Channel: rng.Intn(cfg.Memory.Channels), SM: sm}
+			n.Inject(sm, r)
+		}
+		n.Tick()
+		for ch := 0; ch < cfg.Memory.Channels; ch++ {
+			q := n.Output(ch)
+			for _, vc := range []VCID{VCMem, VCPim} {
+				if q.LenVC(vc) > 0 {
+					q.Pop(vc)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkCrossbarTickVC1 measures full-scale (80x32) crossbar
+// arbitration per GPU cycle under the shared-queue configuration.
+func BenchmarkCrossbarTickVC1(b *testing.B) { benchNetwork(b, config.VC1) }
+
+// BenchmarkCrossbarTickVC2 measures the split-VC configuration.
+func BenchmarkCrossbarTickVC2(b *testing.B) { benchNetwork(b, config.VC2) }

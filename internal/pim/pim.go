@@ -1,0 +1,135 @@
+// Package pim models the functional side of the bank-level PIM units of
+// Fig. 2: one functional unit (FU) per pair of banks, each FU holding a
+// DRAM-word-wide SIMD ALU and a register file whose entries are split
+// between the two banks it serves (8 of 16 per bank in Table I).
+//
+// The timing of lockstep PIM execution lives in package dram (broadcast
+// precharge/activate and the all-bank op). This package enforces the
+// *semantic* invariants the paper relies on for PIM correctness:
+//
+//   - register-file state persists across MEM/PIM mode switches
+//     (Sec. II-A: "The PIM register file holds state across MEM/PIM
+//     switch boundaries");
+//   - blocks execute sequentially (Sec. II-B: "blocks must be executed
+//     sequentially for correctness due to their dependencies");
+//   - compute and store operations only consume register-file entries
+//     that an earlier load or compute produced.
+package pim
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/request"
+)
+
+// Units is the functional state of all PIM FUs of one channel. All banks
+// execute the same op in lockstep, so a single op application updates
+// every bank's register-file half identically; Units tracks them
+// per bank anyway so that the register-file partitioning of Fig. 1 is
+// visible and testable.
+type Units struct {
+	banks     int
+	fus       int
+	rfPerBank int
+
+	// valid[bank][entry] reports whether the entry holds defined data.
+	valid [][]bool
+
+	// lastBlock is the highest block index executed so far; -1 before
+	// the first op. Blocks may repeat ops (same index) but must never
+	// go backwards.
+	lastBlock int
+
+	// Loads, Computes, Stores count executed ops by kind.
+	Loads, Computes, Stores uint64
+}
+
+// NewUnits builds the FUs for one channel.
+func NewUnits(mem config.Memory, p config.PIM) *Units {
+	u := &Units{
+		banks:     mem.Banks,
+		fus:       p.FUsPerChannel,
+		rfPerBank: p.RFPerBank(),
+		valid:     make([][]bool, mem.Banks),
+		lastBlock: -1,
+	}
+	for b := range u.valid {
+		u.valid[b] = make([]bool, u.rfPerBank)
+	}
+	return u
+}
+
+// RFPerBank returns the register-file entries available to each bank.
+func (u *Units) RFPerBank() int { return u.rfPerBank }
+
+// FUs returns the number of functional units in the channel.
+func (u *Units) FUs() int { return u.fus }
+
+// BanksPerFU returns how many banks share one FU.
+func (u *Units) BanksPerFU() int { return u.banks / u.fus }
+
+// Execute applies one lockstep PIM op to every bank and validates the
+// correctness invariants. It returns a descriptive error (and leaves the
+// state unchanged) if the op is malformed; the memory controller treats
+// such an error as a programming bug and surfaces it.
+func (u *Units) Execute(info *request.PIMInfo) error {
+	if info == nil {
+		return fmt.Errorf("pim: op without PIM payload")
+	}
+	if info.RFEntry < 0 || info.RFEntry >= u.rfPerBank {
+		return fmt.Errorf("pim: RF entry %d out of range [0,%d)", info.RFEntry, u.rfPerBank)
+	}
+	if info.Block < u.lastBlock {
+		return fmt.Errorf("pim: block %d executed after block %d (sequential block ordering violated)", info.Block, u.lastBlock)
+	}
+	switch info.Op {
+	case request.PIMLoad:
+		for b := range u.valid {
+			u.valid[b][info.RFEntry] = true
+		}
+		u.Loads++
+	case request.PIMCompute:
+		// A compute both reads DRAM and combines with the RF entry;
+		// kernels may accumulate into a fresh entry (e.g. zero-init
+		// MAC), so reading an invalid entry is legal only for the
+		// entry it also defines. The conservative check used here
+		// mirrors Fig. 3's pattern: compute defines its entry.
+		for b := range u.valid {
+			u.valid[b][info.RFEntry] = true
+		}
+		u.Computes++
+	case request.PIMStore:
+		for b := range u.valid {
+			if !u.valid[b][info.RFEntry] {
+				return fmt.Errorf("pim: store of undefined RF entry %d (bank %d)", info.RFEntry, b)
+			}
+		}
+		u.Stores++
+	default:
+		return fmt.Errorf("pim: unknown op kind %v", info.Op)
+	}
+	u.lastBlock = info.Block
+	return nil
+}
+
+// EntryValid reports whether the given bank's RF entry holds defined data.
+// Register-file state survives mode switches by construction: nothing in
+// the simulator ever clears it except Reset.
+func (u *Units) EntryValid(bankIdx, entry int) bool {
+	return u.valid[bankIdx][entry]
+}
+
+// Reset clears all register-file state and the block cursor, as a new
+// kernel launch would.
+func (u *Units) Reset() {
+	for b := range u.valid {
+		for e := range u.valid[b] {
+			u.valid[b][e] = false
+		}
+	}
+	u.lastBlock = -1
+}
+
+// Ops returns the total lockstep operations executed.
+func (u *Units) Ops() uint64 { return u.Loads + u.Computes + u.Stores }

@@ -1,0 +1,146 @@
+package pim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/request"
+)
+
+func newUnits() *Units {
+	cfg := config.Paper()
+	return NewUnits(cfg.Memory, cfg.PIM)
+}
+
+func TestGeometry(t *testing.T) {
+	u := newUnits()
+	if u.RFPerBank() != 8 {
+		t.Errorf("RF per bank = %d, want 8", u.RFPerBank())
+	}
+	if u.FUs() != 8 {
+		t.Errorf("FUs = %d, want 8", u.FUs())
+	}
+	if u.BanksPerFU() != 2 {
+		t.Errorf("banks per FU = %d, want 2 (one FU per bank pair)", u.BanksPerFU())
+	}
+}
+
+func TestLoadComputeStoreSequence(t *testing.T) {
+	u := newUnits()
+	ops := []*request.PIMInfo{
+		{Op: request.PIMLoad, RFEntry: 0, Block: 0},
+		{Op: request.PIMCompute, RFEntry: 0, Block: 0},
+		{Op: request.PIMStore, RFEntry: 0, Block: 0},
+	}
+	for i, op := range ops {
+		if err := u.Execute(op); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if u.Loads != 1 || u.Computes != 1 || u.Stores != 1 {
+		t.Errorf("counters = %d/%d/%d", u.Loads, u.Computes, u.Stores)
+	}
+}
+
+func TestStoreOfUndefinedEntryFails(t *testing.T) {
+	u := newUnits()
+	if err := u.Execute(&request.PIMInfo{Op: request.PIMStore, RFEntry: 3, Block: 0}); err == nil {
+		t.Error("store of undefined RF entry accepted")
+	}
+}
+
+func TestRFEntryBounds(t *testing.T) {
+	u := newUnits()
+	if err := u.Execute(&request.PIMInfo{Op: request.PIMLoad, RFEntry: 8, Block: 0}); err == nil {
+		t.Error("RF entry 8 accepted with 8 entries per bank")
+	}
+	if err := u.Execute(&request.PIMInfo{Op: request.PIMLoad, RFEntry: -1, Block: 0}); err == nil {
+		t.Error("negative RF entry accepted")
+	}
+}
+
+func TestBlockOrderingEnforced(t *testing.T) {
+	u := newUnits()
+	if err := u.Execute(&request.PIMInfo{Op: request.PIMLoad, RFEntry: 0, Block: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Same block again is fine; going backwards is not.
+	if err := u.Execute(&request.PIMInfo{Op: request.PIMLoad, RFEntry: 1, Block: 2}); err != nil {
+		t.Errorf("same block rejected: %v", err)
+	}
+	if err := u.Execute(&request.PIMInfo{Op: request.PIMLoad, RFEntry: 0, Block: 1}); err == nil {
+		t.Error("backwards block accepted (sequential ordering violated)")
+	}
+}
+
+func TestNilPayloadRejected(t *testing.T) {
+	u := newUnits()
+	if err := u.Execute(nil); err == nil {
+		t.Error("nil payload accepted")
+	}
+}
+
+// TestRFStatePersistsAcrossModeSwitches documents the Sec. II-A invariant:
+// nothing clears the register file except an explicit Reset, so state set
+// before a (simulated) MEM phase is still there after it.
+func TestRFStatePersistsAcrossModeSwitches(t *testing.T) {
+	u := newUnits()
+	if err := u.Execute(&request.PIMInfo{Op: request.PIMLoad, RFEntry: 5, Block: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// ... MEM phase happens here: no PIM calls ...
+	for b := 0; b < 16; b++ {
+		if !u.EntryValid(b, 5) {
+			t.Fatalf("bank %d lost RF entry 5 across a mode switch", b)
+		}
+	}
+	if err := u.Execute(&request.PIMInfo{Op: request.PIMStore, RFEntry: 5, Block: 1}); err != nil {
+		t.Errorf("store after mode switch failed: %v", err)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	u := newUnits()
+	u.Execute(&request.PIMInfo{Op: request.PIMLoad, RFEntry: 2, Block: 7})
+	u.Reset()
+	if u.EntryValid(0, 2) {
+		t.Error("RF entry survived Reset")
+	}
+	if err := u.Execute(&request.PIMInfo{Op: request.PIMLoad, RFEntry: 0, Block: 0}); err != nil {
+		t.Errorf("block 0 rejected after Reset: %v", err)
+	}
+}
+
+// TestLockstepProperty: any successful op defines/uses the same entry on
+// every bank — bank RF states never diverge under lockstep execution.
+func TestLockstepProperty(t *testing.T) {
+	u := newUnits()
+	block := 0
+	f := func(entry uint8, kind uint8) bool {
+		info := &request.PIMInfo{
+			Op:      request.PIMOpKind(kind % 3),
+			RFEntry: int(entry % 8),
+			Block:   block,
+		}
+		err := u.Execute(info)
+		if err != nil {
+			// A failed op must leave all banks consistent too.
+			info.Op = request.PIMLoad
+			if e2 := u.Execute(info); e2 != nil {
+				return false
+			}
+		}
+		block++
+		first := u.EntryValid(0, info.RFEntry)
+		for b := 1; b < 16; b++ {
+			if u.EntryValid(b, info.RFEntry) != first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

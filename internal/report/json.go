@@ -1,0 +1,81 @@
+package report
+
+import (
+	"encoding/json"
+
+	"repro/internal/experiments"
+)
+
+// PairRecord flattens one competitive result for machine consumption.
+type PairRecord struct {
+	VC                 string  `json:"vc"`
+	Policy             string  `json:"policy"`
+	GPU                string  `json:"gpu"`
+	PIM                string  `json:"pim"`
+	GPUSpeedup         float64 `json:"gpu_speedup"`
+	PIMSpeedup         float64 `json:"pim_speedup"`
+	Fairness           float64 `json:"fairness"`
+	Throughput         float64 `json:"throughput"`
+	MemArrivalNorm     float64 `json:"mem_arrival_norm"`
+	Switches           uint64  `json:"switches"`
+	ConflictsPerSwitch float64 `json:"conflicts_per_switch"`
+	DrainPerSwitch     float64 `json:"drain_per_switch"`
+	Aborted            bool    `json:"aborted"`
+}
+
+// SweepRecords flattens a sweep into one record per combination, in
+// deterministic (mode, policy, gpu, pim) order.
+func SweepRecords(s *experiments.Sweep) []PairRecord {
+	var out []PairRecord
+	for _, mode := range s.Modes {
+		for _, policy := range s.Policies {
+			for _, g := range s.GPUIDs {
+				for _, p := range s.PIMIDs {
+					pair := s.Pairs[mode][policy][g][p]
+					out = append(out, PairRecord{
+						VC: mode.String(), Policy: policy, GPU: g, PIM: p,
+						GPUSpeedup: pair.GPUSpeedup, PIMSpeedup: pair.PIMSpeedup,
+						Fairness: pair.Fairness, Throughput: pair.Throughput,
+						MemArrivalNorm:     pair.MemArrivalNorm,
+						Switches:           pair.Switches,
+						ConflictsPerSwitch: pair.ConflictsPerSwitch,
+						DrainPerSwitch:     pair.DrainPerSwitch,
+						Aborted:            pair.Aborted,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SweepJSON marshals the flattened sweep with indentation.
+func SweepJSON(s *experiments.Sweep) ([]byte, error) {
+	return json.MarshalIndent(SweepRecords(s), "", "  ")
+}
+
+// CollabRecord flattens one collaborative result.
+type CollabRecord struct {
+	VC               string  `json:"vc"`
+	Policy           string  `json:"policy"`
+	Speedup          float64 `json:"speedup"`
+	Ideal            float64 `json:"ideal"`
+	QKVCycles        uint64  `json:"qkv_cycles"`
+	MHACycles        uint64  `json:"mha_cycles"`
+	ConcurrentCycles uint64  `json:"concurrent_cycles"`
+	Aborted          bool    `json:"aborted"`
+}
+
+// CollabJSON marshals Fig. 11 results with indentation.
+func CollabJSON(results []experiments.CollabResult) ([]byte, error) {
+	records := make([]CollabRecord, 0, len(results))
+	for _, r := range results {
+		records = append(records, CollabRecord{
+			VC: r.Mode.String(), Policy: r.Policy,
+			Speedup: r.Speedup, Ideal: r.Ideal,
+			QKVCycles: r.QKVCycles, MHACycles: r.MHACycles,
+			ConcurrentCycles: r.ConcurrentCycles, Aborted: r.Aborted,
+		})
+	}
+	return json.MarshalIndent(records, "", "  ")
+}

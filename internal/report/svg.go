@@ -1,0 +1,120 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one bar of a grouped bar chart.
+type Bar struct {
+	// Label names the bar within its group ("FI/VC1").
+	Label string
+	// Value is the bar height; negative values are clamped to zero.
+	Value float64
+}
+
+// BarGroup is one labeled cluster of bars ("f3fs").
+type BarGroup struct {
+	Label string
+	Bars  []Bar
+}
+
+// BarChart is a grouped bar chart rendered as a self-contained SVG.
+type BarChart struct {
+	Title  string
+	YLabel string
+	Groups []BarGroup
+}
+
+// barPalette cycles across the bars of a group.
+var barPalette = []string{"#4878a8", "#e49444", "#5fa05a", "#d1605e", "#857aab", "#937860"}
+
+// SVG renders the chart. The output is deterministic for a given chart.
+func (c BarChart) SVG() string {
+	const (
+		width      = 960
+		height     = 480
+		marginL    = 70
+		marginR    = 30
+		marginT    = 50
+		marginB    = 110
+		plotW      = width - marginL - marginR
+		plotH      = height - marginT - marginB
+		groupGap   = 18.0
+		legendYOff = 18
+	)
+	maxVal := 0.0
+	maxBars := 0
+	for _, g := range c.Groups {
+		if len(g.Bars) > maxBars {
+			maxBars = len(g.Bars)
+		}
+		for _, b := range g.Bars {
+			if b.Value > maxVal {
+				maxVal = b.Value
+			}
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	// Round the axis top up to a tidy step.
+	step := math.Pow(10, math.Floor(math.Log10(maxVal)))
+	for maxVal/step > 5 {
+		step *= 2
+	}
+	axisTop := math.Ceil(maxVal/step) * step
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" text-anchor="middle">%s</text>`+"\n", width/2, xmlEscape(c.Title))
+	fmt.Fprintf(&b, `<text x="18" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, xmlEscape(c.YLabel))
+
+	// Gridlines and y-axis labels.
+	for v := 0.0; v <= axisTop+1e-9; v += step {
+		y := float64(marginT) + float64(plotH)*(1-v/axisTop)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", marginL, y, width-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%.2g</text>`+"\n", marginL-6, y+4, v)
+	}
+
+	if len(c.Groups) > 0 {
+		groupW := (float64(plotW) - groupGap*float64(len(c.Groups))) / float64(len(c.Groups))
+		barW := groupW / math.Max(1, float64(maxBars))
+		for gi, g := range c.Groups {
+			gx := float64(marginL) + groupGap/2 + float64(gi)*(groupW+groupGap)
+			for bi, bar := range g.Bars {
+				v := math.Max(0, bar.Value)
+				h := float64(plotH) * v / axisTop
+				x := gx + float64(bi)*barW
+				y := float64(marginT) + float64(plotH) - h
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s = %.4f</title></rect>`+"\n",
+					x, y, math.Max(1, barW-2), h, barPalette[bi%len(barPalette)],
+					xmlEscape(g.Label), xmlEscape(bar.Label), bar.Value)
+			}
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="end" transform="rotate(-40 %.1f %d)">%s</text>`+"\n",
+				gx+groupW/2, marginT+plotH+16, gx+groupW/2, marginT+plotH+16, xmlEscape(g.Label))
+		}
+		// Legend from the first group's bar labels.
+		lx := marginL
+		for bi, bar := range c.Groups[0].Bars {
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+				lx, height-marginB+legendYOff+46, barPalette[bi%len(barPalette)])
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n",
+				lx+16, height-marginB+legendYOff+56, xmlEscape(bar.Label))
+			lx += 20 + 9*len(bar.Label)
+		}
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginL, marginT+plotH, width-marginR, marginT+plotH)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

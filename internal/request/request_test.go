@@ -1,0 +1,75 @@
+package request
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		MemRead:  "READ",
+		MemWrite: "WRITE",
+		PIMOp:    "PIM",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "Kind(") {
+		t.Error("unknown kind not rendered defensively")
+	}
+}
+
+func TestKindIsPIM(t *testing.T) {
+	if MemRead.IsPIM() || MemWrite.IsPIM() || !PIMOp.IsPIM() {
+		t.Error("IsPIM classification wrong")
+	}
+}
+
+func TestPIMOpKindStrings(t *testing.T) {
+	cases := map[PIMOpKind]string{
+		PIMLoad:    "pim.load",
+		PIMCompute: "pim.op",
+		PIMStore:   "pim.store",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.HasPrefix(PIMOpKind(9).String(), "PIMOpKind(") {
+		t.Error("unknown op kind not rendered defensively")
+	}
+}
+
+func TestIsWrite(t *testing.T) {
+	if (&Request{Kind: MemRead}).IsWrite() {
+		t.Error("read classified as write")
+	}
+	if !(&Request{Kind: MemWrite}).IsWrite() {
+		t.Error("write not classified as write")
+	}
+	// PIM ops are encoded as non-temporal stores by the host.
+	if !(&Request{Kind: PIMOp}).IsWrite() {
+		t.Error("PIM op not classified as write")
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	mem := &Request{ID: 7, Kind: MemRead, Channel: 3, Bank: 5, Row: 42, Col: 9}
+	s := mem.String()
+	for _, want := range []string{"req#7", "READ", "ch3", "b5", "row42", "col9"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("%q missing %q", s, want)
+		}
+	}
+	pim := &Request{ID: 8, Kind: PIMOp, Channel: 1, Row: 10,
+		PIM: &PIMInfo{Op: PIMStore, RFEntry: 3, Block: 2}}
+	s = pim.String()
+	for _, want := range []string{"req#8", "PIM", "ch1", "row10", "blk2", "pim.store"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("%q missing %q", s, want)
+		}
+	}
+}

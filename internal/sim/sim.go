@@ -1,0 +1,685 @@
+// Package sim wires the full system of Fig. 1 and Fig. 7 together and
+// runs it cycle by cycle: SMs (package gpu) inject kernel request streams
+// into the crossbar (package noc), whose per-channel queues feed the L2
+// slices (package cache) for MEM traffic and bypass straight to the
+// L2->DRAM queues for PIM traffic; the per-channel memory controllers
+// (package memctrl) arbitrate MEM/PIM modes under a scheduling policy and
+// drive the DRAM timing model (package dram).
+//
+// Two clock domains are modeled: the SMs, crossbar and L2 run at the GPU
+// core clock (1132 MHz in Table I) while the controllers and DRAM run at
+// the DRAM clock (850 MHz); the L2->DRAM queues are the domain crossing.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/addrmap"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/memctrl"
+	"repro/internal/noc"
+	"repro/internal/request"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// KernelDesc describes one kernel to launch. Exactly one of GPU and PIM
+// must be set.
+type KernelDesc struct {
+	// GPU selects a Rodinia-style MEM kernel profile.
+	GPU *workload.GPUProfile
+	// PIM selects a PIM kernel profile.
+	PIM *workload.PIMProfile
+	// SMs lists the streaming multiprocessors the kernel occupies.
+	SMs []int
+	// Base places the kernel's footprint in physical memory; co-running
+	// kernels should use disjoint regions (MPS gives each process its
+	// own address space).
+	Base uint64
+	// Scale multiplies the kernel's request/block count (1.0 = the
+	// profile's default size).
+	Scale float64
+	// Seed perturbs the kernel's address randomness; 0 uses the system
+	// seed.
+	Seed int64
+}
+
+// KernelResult reports one kernel's outcome.
+type KernelResult struct {
+	// Label names the kernel ("G7/heartwall", "P1/stream-add").
+	Label string
+	// App is the kernel's application ID (its index in the descriptor
+	// list).
+	App int
+	// Finished reports whether the first run completed.
+	Finished bool
+	// FirstFinish is the GPU cycle of first-run completion (valid when
+	// Finished).
+	FirstFinish uint64
+	// EstFinish is FirstFinish when finished; otherwise a linear
+	// extrapolation from partial progress (0 when no progress at all —
+	// total starvation).
+	EstFinish uint64
+	// Runs, Issued and Completed describe progress.
+	Runs, Issued, Completed int
+	// Total is the per-run request count.
+	Total int
+	// StallCycles counts SM-cycles denied injection by backpressure.
+	StallCycles uint64
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	// Stats holds the full measurement record.
+	Stats *stats.Sim
+	// Kernels holds per-kernel outcomes, indexed by app ID.
+	Kernels []KernelResult
+	// GPUCycles and DRAMCycles are the run length.
+	GPUCycles, DRAMCycles uint64
+	// Aborted reports that the run hit MaxGPUCycles or made no progress
+	// (starvation) before every kernel finished once.
+	Aborted bool
+	// Samples holds the execution timeline when EnableSampling was
+	// called (nil otherwise).
+	Samples []Sample
+}
+
+// System is one configured simulation instance. Build with New, run with
+// Run; a System is single-use.
+type System struct {
+	cfg    config.Config
+	mapper addrmap.Mapper
+	st     *stats.Sim
+
+	network *noc.Network
+	l1      []*cache.Slice // per SM (nil when L1Bytes == 0)
+	l2      []*cache.Slice
+	l2dram  []*noc.VCQueue
+	mcs     []*memctrl.Controller
+	kernels []*gpu.Kernel
+
+	gpuCycle  uint64
+	dramCycle uint64
+	dramAccum int
+
+	respRing [][]*request.Request
+	respIdx  int
+
+	idSeq uint64
+	ran   bool
+	isPIM []bool // per app: kernel submits PIM requests
+
+	// noRestart disables the run-in-a-loop protocol: kernels run once
+	// (the collaborative scenario, where total execution time is the
+	// metric and both kernels belong to one application).
+	noRestart bool
+
+	sampleEvery uint64
+	samples     []Sample
+}
+
+// Sample is one point of the optional execution timeline (see
+// EnableSampling): cumulative progress and instantaneous queue state at a
+// GPU cycle.
+type Sample struct {
+	// GPUCycle is the sampling instant.
+	GPUCycle uint64
+	// Completed holds each app's cumulative completed requests.
+	Completed []int
+	// Switches is the cumulative mode-switch count across channels.
+	Switches uint64
+	// MemQ and PIMQ are the average controller queue occupancies at the
+	// instant.
+	MemQ, PIMQ float64
+}
+
+// EnableSampling records a timeline sample every interval GPU cycles;
+// Result.Samples carries them. Call before Run.
+func (s *System) EnableSampling(interval uint64) {
+	if interval == 0 {
+		interval = 1
+	}
+	s.sampleEvery = interval
+}
+
+func (s *System) takeSample() {
+	var sw, memQ, pimQ uint64
+	for _, mc := range s.mcs {
+		m, p := mc.QueueLens()
+		memQ += uint64(m)
+		pimQ += uint64(p)
+	}
+	for i := range s.st.Channels {
+		sw += s.st.Channels[i].Switches
+	}
+	completed := make([]int, len(s.kernels))
+	for i, k := range s.kernels {
+		completed[i] = k.Completed()
+	}
+	s.samples = append(s.samples, Sample{
+		GPUCycle:  s.gpuCycle,
+		Completed: completed,
+		Switches:  sw,
+		MemQ:      float64(memQ) / float64(len(s.mcs)),
+		PIMQ:      float64(pimQ) / float64(len(s.mcs)),
+	})
+}
+
+// SetRunOnce disables kernel relaunching: each kernel runs exactly once
+// and the simulation ends when all have finished. Competitive sweeps keep
+// the default (Sec. III-B loops kernels until each completed once);
+// collaborative runs measure a single overlapped execution.
+func (s *System) SetRunOnce(once bool) { s.noRestart = once }
+
+// New builds a system running the described kernels under the given
+// scheduling policy factory (one policy instance per channel).
+func New(cfg config.Config, policy sched.PolicyFactory, descs []KernelDesc) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(descs) == 0 {
+		return nil, fmt.Errorf("sim: no kernels described")
+	}
+	geom, err := addrmap.NewGeometry(cfg.Memory.Channels, cfg.Memory.Banks, cfg.Memory.Rows, cfg.Memory.Columns, cfg.Memory.AccessBytes())
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	var mapper addrmap.Mapper = addrmap.NewInterleaved(geom)
+	if cfg.Memory.Mapping == config.MapIPoly {
+		mapper = addrmap.NewIPoly(geom)
+	}
+	s := &System{
+		cfg:    cfg,
+		mapper: mapper,
+		st:     stats.New(len(descs), cfg.Memory.Channels),
+	}
+	s.network = noc.New(cfg)
+	if cfg.Cache.L1Bytes > 0 {
+		l1cfg := cfg.Cache
+		l1cfg.Ways = cfg.Cache.L1Ways
+		l1cfg.MSHRs = cfg.Cache.L1MSHRs
+		s.l1 = make([]*cache.Slice, cfg.GPU.NumSMs)
+		for sm := range s.l1 {
+			s.l1[sm] = cache.NewSlice(l1cfg, cfg.Cache.L1Bytes)
+		}
+	}
+	s.l2 = make([]*cache.Slice, cfg.Memory.Channels)
+	s.l2dram = make([]*noc.VCQueue, cfg.Memory.Channels)
+	s.mcs = make([]*memctrl.Controller, cfg.Memory.Channels)
+	for ch := 0; ch < cfg.Memory.Channels; ch++ {
+		ch := ch
+		s.l2[ch] = cache.NewSlice(cfg.Cache, cfg.Cache.SliceBytes(cfg.Memory.Channels))
+		s.l2dram[ch] = noc.NewVCQueue(cfg.NoC.Mode, cfg.NoC.BufferSize)
+		s.mcs[ch] = memctrl.New(ch, cfg, policy(), &s.st.Channels[ch], func(r *request.Request, _ uint64) {
+			s.onDRAMComplete(ch, r)
+		})
+	}
+	// Response-path calendar: hit latency and response latency both
+	// schedule into it.
+	ringLen := cfg.GPU.ResponseLatency + cfg.Cache.HitLatency + 4
+	s.respRing = make([][]*request.Request, ringLen)
+
+	for app, d := range descs {
+		k, err := s.buildKernel(app, d)
+		if err != nil {
+			return nil, err
+		}
+		s.kernels = append(s.kernels, k)
+		s.isPIM = append(s.isPIM, d.PIM != nil)
+	}
+	return s, nil
+}
+
+func (s *System) buildKernel(app int, d KernelDesc) (*gpu.Kernel, error) {
+	scale := d.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	seed := d.Seed
+	if seed == 0 {
+		seed = s.cfg.Seed + int64(app)*31
+	}
+	if len(d.SMs) == 0 {
+		return nil, fmt.Errorf("sim: kernel %d has no SMs", app)
+	}
+	switch {
+	case d.GPU != nil && d.PIM == nil:
+		if err := d.GPU.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: kernel %d: %w", app, err)
+		}
+		gen := workload.NewGPUGen(*d.GPU, s.mapper, d.SMs, app, d.Base, seed, scale, &s.idSeq)
+		maxOut := d.GPU.MaxOutstanding
+		if maxOut <= 0 {
+			maxOut = s.cfg.GPU.MaxOutstanding
+		}
+		params := gpu.IssueParams{Interval: d.GPU.Interval, PerSlot: 1, MaxOutstanding: maxOut}
+		return gpu.NewKernel(app, d.GPU.ID+"/"+d.GPU.Name, gen, d.SMs, params, seed), nil
+	case d.PIM != nil && d.GPU == nil:
+		if err := d.PIM.Validate(s.cfg.PIM.RFPerBank()); err != nil {
+			return nil, fmt.Errorf("sim: kernel %d: %w", app, err)
+		}
+		warpsPerSM := s.cfg.Memory.Channels / len(d.SMs)
+		gen := workload.NewPIMGen(*d.PIM, s.mapper, d.SMs, warpsPerSM, s.cfg.PIM.RFPerBank(), app, scale, &s.idSeq)
+		// PIM kernels are optimized to saturate the memory interface:
+		// one op per warp per cycle, throttled only by backpressure.
+		params := gpu.IssueParams{Interval: 1, PerSlot: warpsPerSM, MaxOutstanding: 1 << 30}
+		return gpu.NewKernel(app, d.PIM.ID+"/"+d.PIM.Name, gen, d.SMs, params, seed), nil
+	default:
+		return nil, fmt.Errorf("sim: kernel %d must set exactly one of GPU and PIM", app)
+	}
+}
+
+// Mapper exposes the address map (tests).
+func (s *System) Mapper() addrmap.Mapper { return s.mapper }
+
+// EnableTrace installs an event recorder on one channel's memory
+// controller, keeping the most recent capacity events. Call before Run;
+// the recorder is returned for inspection afterwards.
+func (s *System) EnableTrace(channel, capacity int) *trace.Recorder {
+	tr := trace.New(capacity)
+	s.mcs[channel].SetTrace(tr)
+	return tr
+}
+
+// Controllers exposes the per-channel memory controllers (tests).
+func (s *System) Controllers() []*memctrl.Controller { return s.mcs }
+
+// L2 exposes the per-channel cache slices (tests).
+func (s *System) L2(ch int) *cache.Slice { return s.l2[ch] }
+
+// inject is the InjectFunc given to kernels: PIM requests go straight to
+// the interconnect (cache-streaming stores bypass the hierarchy); MEM
+// requests are filtered by the issuing SM's L1D when one is configured.
+func (s *System) inject(smID int, r *request.Request) bool {
+	if r.Kind == request.PIMOp || s.l1 == nil {
+		return s.injectNoC(smID, r)
+	}
+	l1 := s.l1[smID]
+	res, forwards := l1.Access(r, s.network.InputSpace(smID, r.Kind))
+	switch res {
+	case cache.Hit:
+		s.scheduleResponse(r, s.cfg.Cache.L1HitLatency)
+		return true
+	case cache.Merged:
+		return true
+	case cache.Miss:
+		for _, f := range forwards {
+			if f.Synthetic {
+				s.decodeWriteback(f)
+			} else {
+				f.L1Fetch = true
+				f.Kind = request.MemRead // write-allocate fetch
+			}
+			if !s.injectNoC(smID, f) {
+				panic("sim: NoC inject failed after space check")
+			}
+		}
+		return true
+	default: // cache.Blocked
+		return false
+	}
+}
+
+func (s *System) injectNoC(smID int, r *request.Request) bool {
+	if !s.network.Inject(smID, r) {
+		return false
+	}
+	r.InjectGPUCycle = s.gpuCycle
+	if !r.Synthetic {
+		s.st.Apps[r.App].NoCInjected++
+	}
+	return true
+}
+
+// scheduleResponse delivers r to its kernel after delay GPU cycles.
+func (s *System) scheduleResponse(r *request.Request, delay int) {
+	idx := (s.respIdx + delay) % len(s.respRing)
+	s.respRing[idx] = append(s.respRing[idx], r)
+}
+
+func (s *System) deliverResponses() {
+	due := s.respRing[s.respIdx]
+	s.respRing[s.respIdx] = nil
+	for _, r := range due {
+		s.completeForKernel(r)
+	}
+}
+
+func (s *System) completeForKernel(r *request.Request) {
+	if r.Synthetic {
+		return
+	}
+	if r.L1Fetch {
+		// The response fills the issuing SM's L1 and releases every
+		// request that merged into the fetch's MSHR.
+		r.L1Fetch = false
+		for _, done := range s.l1[r.SM].Fill(r) {
+			s.st.Apps[done.App].Completed++
+			s.kernels[done.App].OnComplete(done, s.gpuCycle)
+		}
+		return
+	}
+	s.st.Apps[r.App].Completed++
+	s.kernels[r.App].OnComplete(r, s.gpuCycle)
+}
+
+// onDRAMComplete routes memory-controller completions: PIM ops retire to
+// their kernel, L2 fetch primaries fill the slice and release merged
+// requests (a primary may itself be a synthetic L1 writeback — the fill
+// must still happen or its MSHR leaks), and L2 victim writebacks vanish.
+func (s *System) onDRAMComplete(ch int, r *request.Request) {
+	switch {
+	case r.Kind == request.PIMOp:
+		s.scheduleResponse(r, 1)
+	case r.L2Fetch:
+		r.L2Fetch = false
+		for _, done := range s.l2[ch].Fill(r) {
+			if done.Synthetic {
+				continue // a writeback that allocated/merged: no waiter
+			}
+			s.scheduleResponse(done, s.cfg.GPU.ResponseLatency)
+		}
+	default:
+		// L2 dirty-victim writeback: no one waits for it.
+	}
+}
+
+// drainNoCOutputs moves requests from the interconnect->L2 queues into the
+// L2 (MEM) or the L2->DRAM queue (PIM), one request per channel per GPU
+// cycle, round-robin between virtual channels under VC2.
+func (s *System) drainNoCOutputs() {
+	for ch := range s.l2 {
+		q := s.network.Output(ch)
+		if q.Len() == 0 {
+			continue
+		}
+		order := q.ServeOrder()
+		for i, vc := range order {
+			if i == 1 && vc == order[0] {
+				break
+			}
+			head := q.Peek(vc)
+			if head == nil {
+				continue
+			}
+			if head.Kind == request.PIMOp {
+				if s.l2dram[ch].CanPush(request.PIMOp) {
+					s.l2dram[ch].Push(q.Pop(vc))
+					q.Served(vc)
+					break
+				}
+				continue
+			}
+			// MEM request: present to the L2 slice.
+			space := s.memVCSpace(ch)
+			res, forwards := s.l2[ch].Access(head, space)
+			switch res {
+			case cache.Hit:
+				q.Pop(vc)
+				q.Served(vc)
+				s.scheduleResponse(head, s.cfg.Cache.HitLatency)
+			case cache.Merged:
+				q.Pop(vc)
+				q.Served(vc)
+			case cache.Miss:
+				q.Pop(vc)
+				q.Served(vc)
+				for i, f := range forwards {
+					if i == 0 {
+						// The fetch primary: a DRAM read that will
+						// fill the slice, whatever kind the original
+						// request was (write-allocate).
+						f.L2Fetch = true
+						f.Kind = request.MemRead
+					} else {
+						// The slice's dirty-victim writeback.
+						s.decodeWriteback(f)
+					}
+					if !s.l2dram[ch].Push(f) {
+						panic("sim: L2->DRAM push failed after space check")
+					}
+				}
+			case cache.Blocked:
+				// Leave in queue; backpressure builds upstream.
+				continue
+			}
+			break
+		}
+	}
+}
+
+// memVCSpace returns the free MEM-VC capacity of channel ch's L2->DRAM
+// queue.
+func (s *System) memVCSpace(ch int) int {
+	q := s.l2dram[ch]
+	per := s.cfg.NoC.BufferSize
+	if s.cfg.NoC.Mode == config.VC2 {
+		per /= 2
+	}
+	return per - q.LenVC(noc.VCMem)
+}
+
+// decodeWriteback fills in the DRAM coordinates of a cache-generated
+// writeback request.
+func (s *System) decodeWriteback(r *request.Request) {
+	c := s.mapper.Decode(r.Addr)
+	r.Channel, r.Bank, r.Row, r.Col = c.Channel, c.Bank, c.Row, c.Col
+	id := s.idSeq
+	s.idSeq++
+	r.ID = id
+}
+
+// drainToMCs moves requests from the L2->DRAM queues into the memory
+// controller queues, one per channel per DRAM cycle, round-robin between
+// VCs under VC2. Under VC1 a PIM request at the head of the shared queue
+// whose controller PIM queue is full blocks the MEM requests behind it —
+// the denial-of-service mechanism of Fig. 7a.
+func (s *System) drainToMCs() {
+	for ch, q := range s.l2dram {
+		if q.Len() == 0 {
+			continue
+		}
+		mc := s.mcs[ch]
+		order := q.ServeOrder()
+		for i, vc := range order {
+			if i == 1 && vc == order[0] {
+				break
+			}
+			head := q.Peek(vc)
+			if head == nil {
+				continue
+			}
+			if !mc.CanAccept(head.Kind) {
+				if s.cfg.NoC.Mode == config.VC1 {
+					break // head-of-line blocking in the shared queue
+				}
+				continue
+			}
+			mc.Enqueue(q.Pop(vc))
+			q.Served(vc)
+			if !head.Synthetic {
+				s.st.Apps[head.App].MCArrived++
+			}
+			break
+		}
+	}
+}
+
+// step advances the system by one GPU cycle.
+func (s *System) step() {
+	s.deliverResponses()
+	for _, k := range s.kernels {
+		k.Tick(s.gpuCycle, s.inject)
+	}
+	s.network.Tick()
+	s.drainNoCOutputs()
+
+	// DRAM clock domain: ClockMHz DRAM cycles per CoreClockMHz GPU
+	// cycles, via an integer accumulator.
+	s.dramAccum += s.cfg.Memory.ClockMHz
+	for s.dramAccum >= s.cfg.GPU.CoreClockMHz {
+		s.dramAccum -= s.cfg.GPU.CoreClockMHz
+		s.dramCycle++
+		s.drainToMCs()
+		for _, mc := range s.mcs {
+			mc.Tick(s.dramCycle)
+		}
+	}
+
+	s.gpuCycle++
+	s.respIdx = (s.respIdx + 1) % len(s.respRing)
+	if s.sampleEvery > 0 && s.gpuCycle%s.sampleEvery == 0 {
+		s.takeSample()
+	}
+}
+
+// Run executes the co-execution protocol of Sec. III-B: every kernel is
+// launched at cycle 0 and re-launched whenever it finishes while any
+// other kernel is still on its first run; the simulation ends when every
+// kernel has completed at least one run (or aborts on the cycle limit /
+// total lack of progress).
+func (s *System) Run() (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("sim: System is single-use; build a new one")
+	}
+	s.ran = true
+	for _, k := range s.kernels {
+		k.Start(0)
+	}
+	// Starvation detection: if no kernel still on its *first* run makes
+	// progress for a whole window, the run is starved or deadlocked and
+	// aborts (its fairness is 0, matching the paper's starvation
+	// cases). Kernels relaunched for contention don't count as
+	// progress, or a starved PIM kernel beside a looping GPU kernel
+	// would spin until the cycle limit.
+	const progressWindow = 400_000 // GPU cycles
+	const checkEvery = 4096
+	lastProgress := uint64(0)
+	firstRunCompleted := make([]int, len(s.kernels))
+	aborted := false
+
+	for {
+		if s.allFinished() {
+			break
+		}
+		if s.gpuCycle >= s.cfg.MaxGPUCycles {
+			aborted = true
+			break
+		}
+		s.step()
+		if s.gpuCycle%checkEvery == 0 {
+			progressed := false
+			for i, k := range s.kernels {
+				if k.Finished() {
+					continue
+				}
+				if c := k.Completed(); c != firstRunCompleted[i] {
+					firstRunCompleted[i] = c
+					progressed = true
+				}
+			}
+			if progressed {
+				lastProgress = s.gpuCycle
+			} else if s.gpuCycle-lastProgress > progressWindow {
+				aborted = true
+				break
+			}
+		}
+		// Restart kernels that finished while others still run, to
+		// keep generating contention.
+		if s.noRestart {
+			continue
+		}
+		for app, k := range s.kernels {
+			if k.RunDone() && !s.allFinished() {
+				k.Restart(s.gpuCycle)
+				if s.isPIM[app] {
+					// A fresh PIM kernel launch resets the
+					// register files and the block cursor; all
+					// ops of the previous run have completed
+					// (RunDone), so no in-flight state is lost.
+					for _, mc := range s.mcs {
+						mc.Units().Reset()
+					}
+				}
+			}
+		}
+	}
+
+	s.st.GPUCycles = s.gpuCycle
+	s.st.DRAMCycles = s.dramCycle
+	res := &Result{
+		Stats:      s.st,
+		GPUCycles:  s.gpuCycle,
+		DRAMCycles: s.dramCycle,
+		Aborted:    aborted,
+		Samples:    s.samples,
+	}
+	for app, k := range s.kernels {
+		kr := KernelResult{
+			Label:       k.Label(),
+			App:         app,
+			Finished:    k.Finished(),
+			Runs:        k.Runs(),
+			Issued:      k.Issued(),
+			Completed:   k.Completed(),
+			Total:       k.Total(),
+			StallCycles: k.StallCycles,
+		}
+		if k.Finished() {
+			kr.FirstFinish = k.FirstFinish()
+			kr.EstFinish = k.FirstFinish()
+			s.st.KernelFinishGPU[app] = k.FirstFinish()
+		} else if k.Completed() > 0 {
+			kr.EstFinish = s.gpuCycle * uint64(k.Total()) / uint64(k.Completed())
+		}
+		res.Kernels = append(res.Kernels, kr)
+	}
+	return res, nil
+}
+
+func (s *System) allFinished() bool {
+	for _, k := range s.kernels {
+		if !k.Finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// GPUAndPIMSMs partitions the configured SMs for co-execution: the PIM
+// kernel gets the last PIMSMs SMs, the GPU kernel the rest (72 of 80 in
+// the paper).
+func GPUAndPIMSMs(cfg config.Config) (gpuSMs, pimSMs []int) {
+	split := cfg.GPU.NumSMs - cfg.GPU.PIMSMs
+	for i := 0; i < split; i++ {
+		gpuSMs = append(gpuSMs, i)
+	}
+	for i := split; i < cfg.GPU.NumSMs; i++ {
+		pimSMs = append(pimSMs, i)
+	}
+	return gpuSMs, pimSMs
+}
+
+// AllSMs returns every SM index (standalone GPU runs use all SMs).
+func AllSMs(cfg config.Config) []int {
+	sms := make([]int, cfg.GPU.NumSMs)
+	for i := range sms {
+		sms[i] = i
+	}
+	return sms
+}
+
+// SomeSMs returns the first n SM indexes (e.g. the GPU-8 configuration of
+// Fig. 4).
+func SomeSMs(cfg config.Config, n int) []int {
+	sms := make([]int, n)
+	for i := range sms {
+		sms[i] = i
+	}
+	return sms
+}

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func testCfg() config.Config {
+	cfg := config.Scaled()
+	cfg.MaxGPUCycles = 3_000_000
+	return cfg
+}
+
+func gpuDesc(t *testing.T, id string, sms []int, scale float64) KernelDesc {
+	t.Helper()
+	p, err := workload.GPUProfileByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return KernelDesc{GPU: &p, SMs: sms, Scale: scale}
+}
+
+func pimDesc(t *testing.T, id string, sms []int, scale float64) KernelDesc {
+	t.Helper()
+	p, err := workload.PIMProfileByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return KernelDesc{PIM: &p, SMs: sms, Scale: scale, Base: 512 << 20}
+}
+
+func mustRun(t *testing.T, cfg config.Config, policy string, descs []KernelDesc) *Result {
+	t.Helper()
+	sys, err := New(cfg, core.Factory(policy, cfg.Sched), descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestStandaloneGPUKernelCompletes(t *testing.T) {
+	cfg := testCfg()
+	res := mustRun(t, cfg, "fr-fcfs", []KernelDesc{gpuDesc(t, "G8", AllSMs(cfg), 0.3)})
+	if res.Aborted {
+		t.Fatalf("standalone GPU run aborted: %+v", res.Kernels[0])
+	}
+	k := res.Kernels[0]
+	if !k.Finished {
+		t.Fatalf("kernel did not finish: %+v", k)
+	}
+	if k.Completed != k.Total {
+		t.Fatalf("completed %d of %d", k.Completed, k.Total)
+	}
+	t.Logf("G8 standalone: %d requests in %d GPU cycles (%.1f req/kcycle), RBHR %.2f",
+		k.Total, k.FirstFinish, res.Stats.MCArrivalRate(0), res.Stats.TotalChannel().RBHR())
+}
+
+func TestStandalonePIMKernelCompletes(t *testing.T) {
+	cfg := testCfg()
+	_, pimSMs := GPUAndPIMSMs(cfg)
+	res := mustRun(t, cfg, "fr-fcfs", []KernelDesc{pimDesc(t, "P1", pimSMs, 0.3)})
+	if res.Aborted {
+		t.Fatalf("standalone PIM run aborted: %+v", res.Kernels[0])
+	}
+	k := res.Kernels[0]
+	if !k.Finished {
+		t.Fatalf("kernel did not finish: %+v", k)
+	}
+	tc := res.Stats.TotalChannel()
+	if tc.PIMOps == 0 {
+		t.Fatal("no PIM ops executed")
+	}
+	// All-bank lockstep execution: BLP must equal the bank count.
+	if blp := tc.BLP(); blp < float64(cfg.Memory.Banks)*0.9 {
+		t.Errorf("PIM BLP = %.2f, want close to %d", blp, cfg.Memory.Banks)
+	}
+	// Block structure yields high lockstep row locality.
+	pimLoc := float64(tc.PIMRowHits) / float64(tc.PIMRowHits+tc.PIMRowMisses)
+	if pimLoc < 0.8 {
+		t.Errorf("PIM row locality = %.3f, want > 0.8", pimLoc)
+	}
+	t.Logf("P1 standalone: %d ops in %d GPU cycles, locality %.3f", k.Total, k.FirstFinish, pimLoc)
+}
+
+func TestCompetitiveCoExecutionCompletes(t *testing.T) {
+	cfg := testCfg()
+	gpuSMs, pimSMs := GPUAndPIMSMs(cfg)
+	for _, policy := range []string{"fcfs", "fr-fcfs", "fr-rr-fcfs", "f3fs"} {
+		t.Run(policy, func(t *testing.T) {
+			res := mustRun(t, cfg, policy, []KernelDesc{
+				gpuDesc(t, "G8", gpuSMs, 0.3),
+				pimDesc(t, "P2", pimSMs, 0.3),
+			})
+			for _, k := range res.Kernels {
+				if !k.Finished {
+					t.Errorf("%s: kernel %s did not finish (completed %d/%d, aborted=%v)",
+						policy, k.Label, k.Completed, k.Total, res.Aborted)
+				}
+			}
+			tc := res.Stats.TotalChannel()
+			if tc.Switches == 0 {
+				t.Errorf("%s: no mode switches in co-execution", policy)
+			}
+			t.Logf("%s: gpu=%d cycles, switches=%d, drain/switch=%.1f",
+				policy, res.GPUCycles, tc.Switches, tc.DrainPerSwitch())
+		})
+	}
+}
+
+func TestL1FiltersTraffic(t *testing.T) {
+	base := testCfg()
+	run := func(l1 bool) *Result {
+		cfg := base
+		if !l1 {
+			cfg.Cache.L1Bytes = 0
+		}
+		return mustRun(t, cfg, "fr-fcfs", []KernelDesc{gpuDesc(t, "G8", AllSMs(cfg), 0.2)})
+	}
+	with := run(true)
+	without := run(false)
+	if !with.Kernels[0].Finished || !without.Kernels[0].Finished {
+		t.Fatal("runs did not finish")
+	}
+	// Same kernel work, but the L1 absorbs reuse before the NoC.
+	if with.Stats.Apps[0].NoCInjected >= without.Stats.Apps[0].NoCInjected {
+		t.Errorf("L1 did not filter interconnect traffic: %d vs %d",
+			with.Stats.Apps[0].NoCInjected, without.Stats.Apps[0].NoCInjected)
+	}
+	// Completion accounting is preserved in both configurations.
+	for _, res := range []*Result{with, without} {
+		if res.Kernels[0].Completed != res.Kernels[0].Total {
+			t.Errorf("completed %d of %d", res.Kernels[0].Completed, res.Kernels[0].Total)
+		}
+	}
+}
+
+// TestL1WritebackThroughL2DoesNotLeak reproduces the MSHR-leak scenario:
+// a write-heavy kernel whose dirty L1 evictions miss in the L2 must still
+// complete every request (the L1 writeback becomes an L2 fetch primary
+// whose completion must fill the L2).
+func TestL1WritebackThroughL2DoesNotLeak(t *testing.T) {
+	cfg := testCfg()
+	p, err := workload.GPUProfileByID("G5") // 60% reads: heavy store traffic
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Reuse = 0.6 // churn the L1 with re-written lines
+	res := mustRun(t, cfg, "fr-fcfs", []KernelDesc{{GPU: &p, SMs: AllSMs(cfg), Scale: 0.3}})
+	k := res.Kernels[0]
+	if !k.Finished || k.Completed != k.Total {
+		t.Fatalf("write-heavy kernel leaked requests: %d of %d (aborted=%v)",
+			k.Completed, k.Total, res.Aborted)
+	}
+}
+
+func TestSamplingTimeline(t *testing.T) {
+	cfg := testCfg()
+	gpuSMs, pimSMs := GPUAndPIMSMs(cfg)
+	sys, err := New(cfg, core.Factory("fr-fcfs", cfg.Sched), []KernelDesc{
+		gpuDesc(t, "G8", gpuSMs, 0.1),
+		pimDesc(t, "P1", pimSMs, 0.1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.EnableSampling(1000)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 2 {
+		t.Fatalf("samples = %d over %d cycles", len(res.Samples), res.GPUCycles)
+	}
+	for i, s := range res.Samples {
+		if s.GPUCycle%1000 != 0 {
+			t.Errorf("sample %d at off-interval cycle %d", i, s.GPUCycle)
+		}
+		if len(s.Completed) != 2 {
+			t.Fatalf("sample %d has %d apps", i, len(s.Completed))
+		}
+		if i > 0 {
+			prev := res.Samples[i-1]
+			if s.GPUCycle <= prev.GPUCycle {
+				t.Error("samples not monotonic in time")
+			}
+			if s.Completed[0] < prev.Completed[0] || s.Completed[1] < prev.Completed[1] {
+				// Restarts reset per-run counters; cumulative app
+				// completion in Stats must still be monotonic, but
+				// the per-kernel counter may drop at a relaunch.
+				// Only flag drops without a restart nearby.
+				continue
+			}
+			if s.Switches < prev.Switches {
+				t.Error("switch counter went backwards")
+			}
+		}
+		if s.MemQ < 0 || s.PIMQ < 0 {
+			t.Error("negative queue occupancy")
+		}
+	}
+}
+
+func TestIPolyMappingRuns(t *testing.T) {
+	cfg := testCfg()
+	cfg.Memory.Mapping = config.MapIPoly
+	gpuSMs, pimSMs := GPUAndPIMSMs(cfg)
+	res := mustRun(t, cfg, "fr-fcfs", []KernelDesc{
+		gpuDesc(t, "G8", gpuSMs, 0.1),
+		pimDesc(t, "P2", pimSMs, 0.1),
+	})
+	for _, k := range res.Kernels {
+		if !k.Finished {
+			t.Errorf("kernel %s unfinished under I-poly mapping", k.Label)
+		}
+	}
+	// PIM warps still pin to their channels (the generator inverts the
+	// hash), so lockstep execution stays per channel.
+	if res.Stats.TotalChannel().PIMOps == 0 {
+		t.Error("no PIM ops under I-poly mapping")
+	}
+}
+
+func TestVC2ReducesMEMDenialUnderPIMFlood(t *testing.T) {
+	base := testCfg()
+	gpuSMs, pimSMs := GPUAndPIMSMs(base)
+	run := func(mode config.VCMode) *Result {
+		cfg := base
+		cfg.NoC.Mode = mode
+		return mustRun(t, cfg, "mem-first", []KernelDesc{
+			gpuDesc(t, "G8", gpuSMs, 0.25),
+			pimDesc(t, "P1", pimSMs, 0.25),
+		})
+	}
+	vc1 := run(config.VC1)
+	vc2 := run(config.VC2)
+	// MEM-First suffers most from PIM head-of-line blocking under VC1;
+	// VC2 should raise the GPU kernel's MC arrival rate (Fig. 6).
+	r1 := vc1.Stats.MCArrivalRate(0)
+	r2 := vc2.Stats.MCArrivalRate(0)
+	t.Logf("MEM arrival rate: VC1 %.2f, VC2 %.2f req/kcycle", r1, r2)
+	if r2 <= r1 {
+		t.Errorf("VC2 did not improve MEM arrival rate: VC1 %.2f >= VC2 %.2f", r1, r2)
+	}
+}

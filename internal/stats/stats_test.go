@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFairnessIndexEquation1(t *testing.T) {
+	cases := []struct {
+		s1, s2, want float64
+	}{
+		{1, 1, 1},
+		{0.5, 1, 0.5},
+		{1, 0.5, 0.5},
+		{0.9, 0.3, 1.0 / 3.0},
+		{0, 1, 0},  // starvation
+		{1, 0, 0},  // starvation
+		{-1, 1, 0}, // never completed
+	}
+	for _, c := range cases {
+		if got := FairnessIndex(c.s1, c.s2); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("FairnessIndex(%v,%v) = %v, want %v", c.s1, c.s2, got, c.want)
+		}
+	}
+}
+
+func TestFairnessIndexProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		fi := FairnessIndex(a, b)
+		if fi < 0 || fi > 1 {
+			return false
+		}
+		// Symmetry.
+		return fi == FairnessIndex(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSystemThroughput(t *testing.T) {
+	if got := SystemThroughput(0.6, 0.8); math.Abs(got-1.4) > 1e-12 {
+		t.Errorf("ST = %v, want 1.4", got)
+	}
+	if got := SystemThroughput(0.6, -1); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("ST with invalid speedup = %v, want 0.6", got)
+	}
+	if got := SystemThroughput(); got != 0 {
+		t.Errorf("empty ST = %v, want 0", got)
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	// Non-positive entries ignored, as in Fig. 10a's normalization.
+	if got := GeoMean([]float64{1, 4, 0, -2}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean with zeros = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{0, -1}); got != 0 {
+		t.Errorf("GeoMean all non-positive = %v, want 0", got)
+	}
+}
+
+func TestQuartiles(t *testing.T) {
+	min, q1, med, q3, max := Quartiles([]float64{1, 2, 3, 4, 5})
+	if min != 1 || max != 5 || med != 3 || q1 != 2 || q3 != 4 {
+		t.Errorf("Quartiles = %v %v %v %v %v", min, q1, med, q3, max)
+	}
+	// Single element: everything collapses.
+	min, q1, med, q3, max = Quartiles([]float64{7})
+	if min != 7 || q1 != 7 || med != 7 || q3 != 7 || max != 7 {
+		t.Error("single-element quartiles should all equal the element")
+	}
+}
+
+func TestQuartilesDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Quartiles(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestQuartilesPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Quartiles(nil) did not panic")
+		}
+	}()
+	Quartiles(nil)
+}
+
+func TestChannelDerivedMetrics(t *testing.T) {
+	c := Channel{RowHits: 75, RowMisses: 25, ActiveCycles: 10, BankBusySum: 85,
+		MemToPIMSwitches: 4, DrainLatencySum: 48, Switches: 8, PostSwitchConflicts: 16}
+	if got := c.RBHR(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("RBHR = %v, want 0.75", got)
+	}
+	if got := c.BLP(); math.Abs(got-8.5) > 1e-12 {
+		t.Errorf("BLP = %v, want 8.5", got)
+	}
+	if got := c.DrainPerSwitch(); math.Abs(got-12) > 1e-12 {
+		t.Errorf("drain/switch = %v, want 12", got)
+	}
+	if got := c.ConflictsPerSwitch(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("conflicts/switch = %v, want 2", got)
+	}
+	var zero Channel
+	if zero.RBHR() != 0 || zero.BLP() != 0 || zero.DrainPerSwitch() != 0 || zero.ConflictsPerSwitch() != 0 {
+		t.Error("zero-value channel metrics must be 0, not NaN")
+	}
+}
+
+func TestAvgQueueOccupancy(t *testing.T) {
+	c := Channel{MemQOccupancySum: 300, PIMQOccupancySum: 640, SampledCycles: 10}
+	if got := c.AvgMemQ(); got != 30 {
+		t.Errorf("AvgMemQ = %v, want 30", got)
+	}
+	if got := c.AvgPIMQ(); got != 64 {
+		t.Errorf("AvgPIMQ = %v, want 64", got)
+	}
+	var zero Channel
+	if zero.AvgMemQ() != 0 || zero.AvgPIMQ() != 0 {
+		t.Error("zero-sample occupancy must be 0, not NaN")
+	}
+}
+
+func TestTotalChannelSums(t *testing.T) {
+	s := New(2, 3)
+	for i := range s.Channels {
+		s.Channels[i].MemReads = uint64(i + 1)
+		s.Channels[i].PIMOps = 10
+		s.Channels[i].Switches = 2
+	}
+	tot := s.TotalChannel()
+	if tot.MemReads != 6 || tot.PIMOps != 30 || tot.Switches != 6 {
+		t.Errorf("TotalChannel = %+v", tot)
+	}
+}
+
+func TestArrivalRates(t *testing.T) {
+	s := New(2, 1)
+	s.GPUCycles = 2000
+	s.Apps[0].NoCInjected = 4000
+	s.Apps[1].MCArrived = 1000
+	if got := s.NoCArrivalRate(0); math.Abs(got-2000) > 1e-9 {
+		t.Errorf("NoC rate = %v, want 2000 req/kcycle", got)
+	}
+	if got := s.MCArrivalRate(1); math.Abs(got-500) > 1e-9 {
+		t.Errorf("MC rate = %v, want 500 req/kcycle", got)
+	}
+	var empty Sim
+	if empty.NoCArrivalRate(0) != 0 {
+		t.Error("zero-cycle arrival rate must be 0")
+	}
+}
+
+func TestArrivalRateZeroCycles(t *testing.T) {
+	s := New(1, 1)
+	if s.NoCArrivalRate(0) != 0 || s.MCArrivalRate(0) != 0 {
+		t.Error("rates with zero cycles should be 0")
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	s := New(1, 1)
+	s.Channels[0].MemReads = 5
+	if got := s.Summary(); got == "" {
+		t.Error("empty summary")
+	}
+}

@@ -1,0 +1,172 @@
+// Package trace records memory-controller event streams for debugging
+// and for the cycle-level inspection that simulator users of GPGPU-Sim
+// rely on. Recording is per channel, bounded (a ring buffer), and cheap
+// enough to leave compiled in: a nil *Recorder disables all cost except
+// one pointer test.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a recorded event.
+type Kind uint8
+
+const (
+	// EvEnqueue: a request entered the MEM or PIM queue.
+	EvEnqueue Kind = iota
+	// EvActivate/EvPrecharge/EvColumn: MEM-mode bank commands.
+	EvActivate
+	EvPrecharge
+	EvColumn
+	// EvPIMPrechargeAll/EvPIMActivateAll/EvPIMOp: PIM-mode broadcast
+	// commands.
+	EvPIMPrechargeAll
+	EvPIMActivateAll
+	EvPIMOp
+	// EvSwitchStart/EvSwitchDone: mode-switch drain boundaries.
+	EvSwitchStart
+	EvSwitchDone
+	// EvRefresh: an all-bank refresh issued.
+	EvRefresh
+	// EvComplete: a request finished at the DRAM.
+	EvComplete
+)
+
+var kindNames = [...]string{
+	"enqueue", "act", "pre", "col",
+	"pim-pre-all", "pim-act-all", "pim-op",
+	"switch-start", "switch-done", "refresh", "complete",
+}
+
+// String returns the event mnemonic.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one recorded controller event.
+type Event struct {
+	// Cycle is the DRAM cycle of the event.
+	Cycle uint64
+	// Kind classifies it.
+	Kind Kind
+	// Channel is the controller's channel index.
+	Channel int
+	// Bank/Row qualify bank commands (Bank is -1 for broadcast).
+	Bank int
+	Row  uint32
+	// ReqID is the request involved (0 when not request-bound).
+	ReqID uint64
+	// Note carries extra context ("MEM->PIM", "READ", ...).
+	Note string
+}
+
+// String renders the event as one trace line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10d ch%-2d %-13s", e.Cycle, e.Channel, e.Kind)
+	if e.Bank >= 0 {
+		fmt.Fprintf(&b, " b%-2d", e.Bank)
+	} else {
+		b.WriteString(" b--")
+	}
+	fmt.Fprintf(&b, " row%-6d", e.Row)
+	if e.ReqID != 0 {
+		fmt.Fprintf(&b, " req#%-8d", e.ReqID)
+	}
+	if e.Note != "" {
+		b.WriteByte(' ')
+		b.WriteString(e.Note)
+	}
+	return b.String()
+}
+
+// Recorder is a bounded event log. The zero value is unusable; build
+// with New. A nil *Recorder is a valid no-op target for every method.
+type Recorder struct {
+	events []Event
+	next   int
+	filled bool
+	filter func(Event) bool
+}
+
+// New builds a recorder keeping the most recent capacity events.
+func New(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{events: make([]Event, capacity)}
+}
+
+// SetFilter installs a predicate; events it rejects are dropped. A nil
+// predicate records everything.
+func (r *Recorder) SetFilter(f func(Event) bool) {
+	if r == nil {
+		return
+	}
+	r.filter = f
+}
+
+// Record appends an event, evicting the oldest once full.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	if r.filter != nil && !r.filter(e) {
+		return
+	}
+	r.events[r.next] = e
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.filled {
+		return len(r.events)
+	}
+	return r.next
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.filled {
+		return append([]Event(nil), r.events[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Dump renders all retained events, one per line.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CountByKind tallies retained events per kind.
+func (r *Recorder) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}

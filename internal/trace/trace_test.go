@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: EvColumn})
+	r.SetFilter(func(Event) bool { return true })
+	if r.Len() != 0 || r.Events() != nil || r.Dump() != "" {
+		t.Error("nil recorder leaked state")
+	}
+}
+
+func TestChronologicalOrder(t *testing.T) {
+	r := New(10)
+	for i := uint64(1); i <= 5; i++ {
+		r.Record(Event{Cycle: i, Kind: EvColumn})
+	}
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Cycle != uint64(i+1) {
+			t.Fatalf("order broken at %d: %v", i, e.Cycle)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := New(3)
+	for i := uint64(1); i <= 7; i++ {
+		r.Record(Event{Cycle: i})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	if evs[0].Cycle != 5 || evs[2].Cycle != 7 {
+		t.Errorf("kept %v..%v, want 5..7", evs[0].Cycle, evs[2].Cycle)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := New(10)
+	r.SetFilter(func(e Event) bool { return e.Kind == EvSwitchDone })
+	r.Record(Event{Kind: EvColumn})
+	r.Record(Event{Kind: EvSwitchDone})
+	r.Record(Event{Kind: EvEnqueue})
+	if r.Len() != 1 {
+		t.Errorf("filter retained %d, want 1", r.Len())
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	r := New(10)
+	r.Record(Event{Kind: EvColumn})
+	r.Record(Event{Kind: EvColumn})
+	r.Record(Event{Kind: EvRefresh})
+	counts := r.CountByKind()
+	if counts[EvColumn] != 2 || counts[EvRefresh] != 1 {
+		t.Errorf("counts: %v", counts)
+	}
+}
+
+func TestEventRendering(t *testing.T) {
+	e := Event{Cycle: 42, Kind: EvColumn, Channel: 3, Bank: 7, Row: 99, ReqID: 5, Note: "READ"}
+	s := e.String()
+	for _, want := range []string{"42", "ch3", "col", "b7", "row99", "req#5", "READ"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering %q missing %q", s, want)
+		}
+	}
+	broadcast := Event{Kind: EvPIMOp, Bank: -1}
+	if !strings.Contains(broadcast.String(), "b--") {
+		t.Error("broadcast bank not rendered as b--")
+	}
+}
+
+func TestKindNamesComplete(t *testing.T) {
+	for k := EvEnqueue; k <= EvComplete; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+// TestRingNeverExceedsCapacity is the recorder's core property.
+func TestRingNeverExceedsCapacity(t *testing.T) {
+	f := func(capacity uint8, n uint16) bool {
+		c := int(capacity%32) + 1
+		r := New(c)
+		for i := 0; i < int(n%2048); i++ {
+			r.Record(Event{Cycle: uint64(i)})
+		}
+		if r.Len() > c {
+			return false
+		}
+		evs := r.Events()
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Cycle != evs[i-1].Cycle+1 {
+				return false // order or continuity broken
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
