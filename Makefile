@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short bench figures examples clean
+.PHONY: all build vet fmt-check test test-short test-race ci golden-fig8 bench figures examples clean
 
 all: build vet test
 
@@ -10,11 +10,29 @@ build:
 vet:
 	go vet ./...
 
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	go test ./...
 
 test-short:
 	go test -short ./...
+
+test-race:
+	go test -race -short ./...
+
+# Mirror of .github/workflows/ci.yml: build + vet + gofmt, full tests,
+# race-shortened tests, and the golden-figure smoke check.
+ci: fmt-check build vet test test-race golden-fig8
+
+# Regenerate Fig. 8 on the golden subset and compare within tolerances
+# (the simulator is deterministic; this flags unintended model drift).
+golden-fig8:
+	go run ./cmd/pimsweep -fig 8 -all -scale 0.2 \
+		-policies fr-fcfs,fr-rr-fcfs,gather-issue,f3fs > /tmp/fig8_ci.txt
+	go run ./cmd/figcheck -golden fig8_all180.txt -got /tmp/fig8_ci.txt
 
 # One benchmark per paper table/figure, with custom metrics.
 bench:

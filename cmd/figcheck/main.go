@@ -1,0 +1,131 @@
+// Command figcheck compares a regenerated figure table against a golden
+// file with per-value tolerances, for the CI golden-figure smoke job.
+//
+// Usage:
+//
+//	figcheck -golden fig8_all180.txt -got /tmp/fig8.txt [-rtol 0.02] [-atol 0.005]
+//
+// Both files are parsed as label-plus-numeric-columns tables: a data row
+// is any line whose first field is a label and whose remaining fields
+// all parse as floats. Header lines, captions ("Fig. ..."), and footers
+// ("(20 GPU x ...)") are ignored. Rows are matched by label; every
+// golden row must be present with the same column count, and each value
+// must satisfy |got-want| <= atol + rtol*|want|. The simulator is
+// deterministic, so the default tolerances flag any unintended model
+// drift while leaving room for cosmetic rounding changes.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type row struct {
+	label string
+	vals  []float64
+}
+
+func main() {
+	var (
+		golden = flag.String("golden", "", "golden table file")
+		got    = flag.String("got", "", "regenerated table file")
+		rtol   = flag.Float64("rtol", 0.02, "relative tolerance")
+		atol   = flag.Float64("atol", 0.005, "absolute tolerance")
+	)
+	flag.Parse()
+	if *golden == "" || *got == "" {
+		fmt.Fprintln(os.Stderr, "figcheck: -golden and -got are required")
+		os.Exit(2)
+	}
+
+	want, err := parseTable(*golden)
+	if err != nil {
+		fatal(err)
+	}
+	have, err := parseTable(*got)
+	if err != nil {
+		fatal(err)
+	}
+	if len(want) == 0 {
+		fatal(fmt.Errorf("%s: no data rows found", *golden))
+	}
+
+	haveByLabel := make(map[string]row, len(have))
+	for _, r := range have {
+		haveByLabel[r.label] = r
+	}
+
+	failures := 0
+	for _, w := range want {
+		h, ok := haveByLabel[w.label]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figcheck: row %q missing from %s\n", w.label, *got)
+			failures++
+			continue
+		}
+		if len(h.vals) != len(w.vals) {
+			fmt.Fprintf(os.Stderr, "figcheck: row %q has %d columns, want %d\n", w.label, len(h.vals), len(w.vals))
+			failures++
+			continue
+		}
+		for i := range w.vals {
+			diff := math.Abs(h.vals[i] - w.vals[i])
+			if diff > *atol+*rtol*math.Abs(w.vals[i]) {
+				fmt.Fprintf(os.Stderr, "figcheck: row %q col %d: got %g, want %g (diff %g > tol)\n",
+					w.label, i, h.vals[i], w.vals[i], diff)
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "figcheck: %d mismatches\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("figcheck: %d rows match within rtol=%g atol=%g\n", len(want), *rtol, *atol)
+}
+
+// parseTable extracts the data rows of a figure table: label followed by
+// all-numeric columns.
+func parseTable(path string) ([]row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows []row
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 {
+			continue
+		}
+		vals := make([]float64, 0, len(fields)-1)
+		numeric := true
+		for _, fld := range fields[1:] {
+			v, err := strconv.ParseFloat(fld, 64)
+			if err != nil {
+				numeric = false
+				break
+			}
+			vals = append(vals, v)
+		}
+		if !numeric {
+			continue
+		}
+		rows = append(rows, row{label: fields[0], vals: vals})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figcheck:", err)
+	os.Exit(1)
+}

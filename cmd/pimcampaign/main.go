@@ -27,6 +27,7 @@ import (
 	"time"
 
 	pimsim "repro"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -38,9 +39,25 @@ func main() {
 		policies = flag.String("policies", "", "comma-separated policy subset (default: all nine)")
 		gpus     = flag.String("gpus", "", "comma-separated GPU kernel subset (default: all twenty)")
 		pims     = flag.String("pims", "", "comma-separated PIM kernel subset (default: all nine)")
+		telOut   = flag.String("telemetry-out", "", "write per-pair telemetry captures (JSONL) into this directory")
+		pprofD   = flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
 	)
 	flag.Parse()
 
+	if *pprofD != "" {
+		stop, err := profiling.Start(*pprofD)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "pimcampaign:", err)
+			}
+		}()
+	}
+	if *telOut != "" {
+		pimsim.EnableTelemetry(true)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
@@ -52,6 +69,7 @@ func main() {
 	}
 	r := pimsim.NewRunner(cfg, *scale)
 	r.Parallel = 1 // parallelism handled here, per combination
+	r.TelemetryDir = *telOut
 
 	gpuIDs := pimsim.AllGPUKernels()
 	if *gpus != "" {

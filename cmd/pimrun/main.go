@@ -16,6 +16,7 @@ import (
 	"os"
 
 	pimsim "repro"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -28,8 +29,26 @@ func main() {
 		full   = flag.Bool("full", false, "use the full Table I configuration")
 		memCap = flag.Int("mem-cap", 0, "F3FS MEM CAP override")
 		pimCap = flag.Int("pim-cap", 0, "F3FS PIM CAP override")
+		telOut = flag.String("telemetry-out", "", "write the run's telemetry capture (JSONL) to this file")
+		pprofD = flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
 	)
 	flag.Parse()
+
+	if *pprofD != "" {
+		stop, err := profiling.Start(*pprofD)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimrun:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "pimrun:", err)
+			}
+		}()
+	}
+	if *telOut != "" {
+		pimsim.EnableTelemetry(true)
+	}
 
 	cfg := pimsim.ScaledConfig()
 	if *full {
@@ -66,4 +85,29 @@ func main() {
 	if pair.Aborted {
 		fmt.Println("NOTE: run aborted (starvation); partial progress extrapolated")
 	}
+	if pair.Manifest != nil {
+		fmt.Printf("manifest        : %s\n", pair.Manifest.Summary())
+	}
+	if *telOut != "" {
+		if err := writeTelemetry(*telOut, pair); err != nil {
+			fmt.Fprintln(os.Stderr, "pimrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry       : %s\n", *telOut)
+	}
+}
+
+func writeTelemetry(path string, pair pimsim.Pair) error {
+	if pair.Telemetry == nil {
+		return fmt.Errorf("no telemetry collected")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pimsim.WriteTelemetryJSONL(f, pair.Manifest, pair.Telemetry.Registry, pair.Telemetry.Sampler.Snapshots()); err != nil {
+		return err
+	}
+	return f.Close()
 }

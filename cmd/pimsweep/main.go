@@ -26,6 +26,7 @@ import (
 	"time"
 
 	pimsim "repro"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -36,8 +37,26 @@ func main() {
 		scale    = flag.Float64("scale", 0.25, "workload scale factor")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
 		policies = flag.String("policies", "", "comma-separated policy subset (default: all nine)")
+		telOut   = flag.String("telemetry-out", "", "write per-pair telemetry captures (JSONL) into this directory")
+		pprofD   = flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
 	)
 	flag.Parse()
+
+	if *pprofD != "" {
+		stop, err := profiling.Start(*pprofD)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimsweep:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "pimsweep:", err)
+			}
+		}()
+	}
+	if *telOut != "" {
+		pimsim.EnableTelemetry(true)
+	}
 
 	cfg := pimsim.ScaledConfig()
 	if *full {
@@ -50,6 +69,7 @@ func main() {
 	}
 	r := pimsim.NewRunner(cfg, *scale)
 	r.Parallel = *parallel
+	r.TelemetryDir = *telOut
 
 	gpus, pims := pimsim.DefaultGPUKernels(), pimsim.DefaultPIMKernels()
 	if *all {

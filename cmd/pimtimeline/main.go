@@ -1,14 +1,17 @@
-// Command pimtimeline samples a co-execution over time and prints the
-// per-interval service rates and queue occupancies — the time-resolved
-// view of the congestion story in Fig. 7: under VC1 the PIM queue floods
-// while MEM service collapses; under VC2 both progress.
+// Command pimtimeline renders a co-execution timeline — the
+// time-resolved view of the congestion story in Fig. 7: under VC1 the
+// PIM queue floods while MEM service collapses; under VC2 both progress.
 //
-// Usage:
+// Two data sources:
 //
 //	pimtimeline -gpu G8 -pim P1 -policy fr-fcfs -vc 1 -interval 2000
+//	pimtimeline -in capture.jsonl
 //
-// Output is CSV: cycle, per-app service rate (requests per kcycle over
-// the interval), cumulative switches, average MEM/PIM queue occupancy.
+// Without -in it runs the simulation itself, collecting telemetry; with
+// -in it renders a JSONL capture previously written by pimrun
+// -telemetry-out (or pimsweep/pimcampaign's per-pair captures). Output
+// is CSV: cycle, per-app service rate (requests per kcycle over the
+// interval), cumulative switches, average MEM/PIM queue occupancy.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 
 func main() {
 	var (
+		in       = flag.String("in", "", "render a telemetry capture (JSONL) instead of simulating")
 		gpuID    = flag.String("gpu", "G8", "GPU kernel")
 		pimID    = flag.String("pim", "P1", "PIM kernel")
 		policy   = flag.String("policy", "fr-fcfs", "scheduling policy")
@@ -29,6 +33,13 @@ func main() {
 		scale    = flag.Float64("scale", 0.15, "workload scale factor")
 	)
 	flag.Parse()
+
+	if *in != "" {
+		if err := renderFile(*in); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := pimsim.ScaledConfig()
 	if *vc == 2 {
@@ -50,27 +61,70 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sys.EnableSampling(*interval)
+	sys.EnableTelemetry(*interval, 0)
 	res, err := sys.Run()
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Printf("# %s x %s under %s / %s\n", *gpuID, *pimID, *policy, cfg.NoC.Mode)
+	render(res.Manifest, res.Telemetry.Sampler.Snapshots())
+}
+
+// renderFile renders a JSONL capture written by pimrun -telemetry-out.
+func renderFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, _, samples, err := pimsim.ReadTelemetryJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("%s: capture holds no samples", path)
+	}
+	render(m, samples)
+	return nil
+}
+
+// render prints the timeline CSV: per-epoch service rates from adjacent
+// samples' cumulative app completions, plus queue state.
+func render(m *pimsim.TelemetryManifest, samples []pimsim.TelemetrySnapshot) {
+	if m != nil {
+		fmt.Printf("# %s\n", m.Summary())
+	}
 	fmt.Println("cycle,mem_rate,pim_rate,switches,memq,pimq")
-	var prev pimsim.SimSample
-	for i, s := range res.Samples {
+	var prev pimsim.TelemetrySnapshot
+	for i, s := range samples {
 		dt := float64(s.GPUCycle)
-		var dMem, dPIM int
 		if i > 0 {
 			dt = float64(s.GPUCycle - prev.GPUCycle)
-			dMem = s.Completed[0] - prev.Completed[0]
-			dPIM = s.Completed[1] - prev.Completed[1]
-		} else {
-			dMem, dPIM = s.Completed[0], s.Completed[1]
+		}
+		var rates [2]float64
+		for app := 0; app < len(s.Apps) && app < 2; app++ {
+			done := s.Apps[app].Completed
+			if i > 0 {
+				done -= prev.Apps[app].Completed
+			}
+			if dt > 0 {
+				rates[app] = 1000 * float64(done) / dt
+			}
+		}
+		var switches uint64
+		var memQ, pimQ float64
+		for _, ch := range s.Channels {
+			switches += ch.Switches
+			memQ += float64(ch.MemQ)
+			pimQ += float64(ch.PIMQ)
+		}
+		if n := float64(len(s.Channels)); n > 0 {
+			memQ /= n
+			pimQ /= n
 		}
 		fmt.Printf("%d,%.2f,%.2f,%d,%.1f,%.1f\n",
-			s.GPUCycle, 1000*float64(dMem)/dt, 1000*float64(dPIM)/dt, s.Switches, s.MemQ, s.PIMQ)
+			s.GPUCycle, rates[0], rates[1], switches, memQ, pimQ)
 		prev = s
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // BankState enumerates the row-buffer state of a bank.
@@ -87,6 +88,12 @@ type Channel struct {
 	nextRefreshAt uint64 // next REFab deadline (0 = refresh disabled)
 
 	st *stats.Channel
+
+	// Telemetry command counters; nil when telemetry is off (methods
+	// no-op on nil receivers). Broadcast commands count once each.
+	tmActivates  *telemetry.Counter
+	tmPrecharges *telemetry.Counter
+	tmRefreshes  *telemetry.Counter
 }
 
 // NewChannel builds a channel with all banks closed at cycle 0. The stats
@@ -106,6 +113,18 @@ func NewChannel(mem config.Memory, pim config.PIM, st *stats.Channel) *Channel {
 
 // Banks returns the number of banks in the channel.
 func (c *Channel) Banks() int { return len(c.banks) }
+
+// SetTelemetry installs the channel's DRAM command counters (nil
+// disables them).
+func (c *Channel) SetTelemetry(tm *telemetry.ChannelMetrics) {
+	if tm == nil {
+		c.tmActivates, c.tmPrecharges, c.tmRefreshes = nil, nil, nil
+		return
+	}
+	c.tmActivates = tm.Activates
+	c.tmPrecharges = tm.Precharges
+	c.tmRefreshes = tm.Refreshes
+}
 
 // burstCycles returns the data-bus occupancy of one access in DRAM cycles
 // (BL/2 for a double-data-rate bus, minimum 1).
@@ -200,6 +219,7 @@ func (c *Channel) Activate(bankIdx int, row uint32, now uint64) {
 		c.actWindow[c.actWindowIdx] = now
 		c.actWindowIdx = (c.actWindowIdx + 1) % len(c.actWindow)
 	}
+	c.tmActivates.Inc()
 }
 
 // CanPrecharge reports whether a PRE to bankIdx may issue at cycle now.
@@ -220,6 +240,7 @@ func (c *Channel) Precharge(bankIdx int, now uint64) {
 	if b.busyUntil < b.actReadyAt {
 		b.busyUntil = b.actReadyAt
 	}
+	c.tmPrecharges.Inc()
 }
 
 // CanColumn reports whether a read/write column command for row on bankIdx
@@ -440,6 +461,7 @@ func (c *Channel) RefreshPrechargeAll(now uint64) {
 }
 
 func (c *Channel) prechargeAll(now uint64, byPIM bool) {
+	c.tmPrecharges.Inc()
 	if byPIM && c.pim.DualRowBuffer {
 		if !c.CanPIMPrechargeAll(now) {
 			panic(fmt.Sprintf("dram: illegal PIM-buffer PRE at %d", now))
@@ -505,6 +527,7 @@ func (c *Channel) Refresh(now uint64) {
 	if c.st != nil {
 		c.st.Refreshes++
 	}
+	c.tmRefreshes.Inc()
 }
 
 // CanPIMActivateAll reports whether a broadcast activate of row may issue:
@@ -531,6 +554,7 @@ func (c *Channel) PIMActivateAll(row uint32, now uint64) {
 		panic(fmt.Sprintf("dram: illegal broadcast ACT at %d", now))
 	}
 	t := c.cfg.Timing
+	c.tmActivates.Inc()
 	if c.pim.DualRowBuffer {
 		c.dualPIMOpen = true
 		c.dualPIMRow = row

@@ -29,15 +29,16 @@ type CollabResult struct {
 }
 
 // llmStandalone measures each LLM stage running alone (RunOnce), caching
-// the result on the runner.
-func (r *Runner) llmStandalone() (qkv, mha uint64, err error) {
-	r.mu.Lock()
-	if r.llmValid {
-		qkv, mha = r.llmQKV, r.llmMHA
-		r.mu.Unlock()
-		return qkv, mha, nil
-	}
-	r.mu.Unlock()
+// the result on the runner. Concurrent callers share one computation
+// (single-flight via the cell's once).
+func (r *Runner) llmStandalone() (uint64, uint64, error) {
+	r.llm.once.Do(func() {
+		r.llm.qkv, r.llm.mha, r.llm.err = r.computeLLMStandalone()
+	})
+	return r.llm.qkv, r.llm.mha, r.llm.err
+}
+
+func (r *Runner) computeLLMStandalone() (qkv, mha uint64, err error) {
 	cfg := r.baseCfg(config.VC1)
 	model := llm.GPT3Like()
 	qkvDesc, mhaDesc := model.Scenario(cfg, r.Scale)
@@ -63,9 +64,6 @@ func (r *Runner) llmStandalone() (qkv, mha uint64, err error) {
 	if mha, err = runOne(mhaDesc); err != nil {
 		return 0, 0, err
 	}
-	r.mu.Lock()
-	r.llmQKV, r.llmMHA, r.llmValid = qkv, mha, true
-	r.mu.Unlock()
 	return qkv, mha, nil
 }
 

@@ -104,6 +104,9 @@ func TestCollaborativeSpeedupBounds(t *testing.T) {
 }
 
 func TestSweepAndReductions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep takes a second; skipped in -short mode")
+	}
 	r := quickRunner()
 	sweep, err := r.RunSweep([]string{"G8"}, []string{"P2"},
 		[]string{"fcfs", "fr-fcfs", "fr-rr-fcfs", "f3fs"},

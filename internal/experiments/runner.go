@@ -10,12 +10,15 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -32,14 +35,37 @@ type Runner struct {
 	// Parallel bounds concurrent simulations (defaults to 1; sweeps in
 	// cmd/pimsweep raise it).
 	Parallel int
+	// TelemetryDir, when non-empty and telemetry collection is enabled
+	// (telemetry.Enable), makes every Competitive run write its JSONL
+	// capture (manifest + metrics + time series) to one file per pair in
+	// that directory.
+	TelemetryDir string
 
-	mu        sync.Mutex
-	aloneGPU  map[string]Standalone
-	aloneGPUn map[int]map[string]Standalone // keyed by SM count
-	alonePIM  map[string]Standalone
+	// Standalone baselines are cached in single-flight cells: the first
+	// caller for a key computes inside the cell's once while later
+	// callers block on it, so Parallel > 1 sweeps never compute the same
+	// baseline twice (the mutex only guards the cell maps).
+	mu       sync.Mutex
+	aloneGPU map[gpuKey]*standaloneCell
+	alonePIM map[string]*standaloneCell
+	llm      llmCell
+}
 
-	llmQKV, llmMHA uint64 // cached standalone LLM stage times
-	llmValid       bool
+type gpuKey struct {
+	id  string
+	sms int
+}
+
+type standaloneCell struct {
+	once sync.Once
+	s    Standalone
+	err  error
+}
+
+type llmCell struct {
+	once     sync.Once
+	qkv, mha uint64
+	err      error
 }
 
 // Standalone summarizes a kernel running alone.
@@ -59,12 +85,11 @@ func NewRunner(cfg config.Config, scale float64) *Runner {
 		scale = 1
 	}
 	return &Runner{
-		Cfg:       cfg,
-		Scale:     scale,
-		Parallel:  1,
-		aloneGPU:  make(map[string]Standalone),
-		aloneGPUn: make(map[int]map[string]Standalone),
-		alonePIM:  make(map[string]Standalone),
+		Cfg:      cfg,
+		Scale:    scale,
+		Parallel: 1,
+		aloneGPU: make(map[gpuKey]*standaloneCell),
+		alonePIM: make(map[string]*standaloneCell),
 	}
 }
 
@@ -92,36 +117,54 @@ func standaloneFrom(res *sim.Result, app int, pim bool) Standalone {
 	return s
 }
 
+// gpuCell returns (creating on first use) the single-flight cell for GPU
+// kernel id on n SMs.
+func (r *Runner) gpuCell(id string, n int) *standaloneCell {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.aloneGPU == nil {
+		r.aloneGPU = make(map[gpuKey]*standaloneCell)
+	}
+	k := gpuKey{id: id, sms: n}
+	c := r.aloneGPU[k]
+	if c == nil {
+		c = &standaloneCell{}
+		r.aloneGPU[k] = c
+	}
+	return c
+}
+
+func (r *Runner) pimCell(id string) *standaloneCell {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.alonePIM == nil {
+		r.alonePIM = make(map[string]*standaloneCell)
+	}
+	c := r.alonePIM[id]
+	if c == nil {
+		c = &standaloneCell{}
+		r.alonePIM[id] = c
+	}
+	return c
+}
+
 // StandaloneGPU runs (and caches) GPU kernel id alone on every SM.
 func (r *Runner) StandaloneGPU(id string) (Standalone, error) {
-	r.mu.Lock()
-	if s, ok := r.aloneGPU[id]; ok {
-		r.mu.Unlock()
-		return s, nil
-	}
-	r.mu.Unlock()
-	s, err := r.StandaloneGPUOn(id, r.Cfg.GPU.NumSMs)
-	if err != nil {
-		return Standalone{}, err
-	}
-	r.mu.Lock()
-	r.aloneGPU[id] = s
-	r.mu.Unlock()
-	return s, nil
+	return r.StandaloneGPUOn(id, r.Cfg.GPU.NumSMs)
 }
 
 // StandaloneGPUOn runs (and caches) GPU kernel id alone on n SMs (the
-// GPU-8 and 72-SM configurations of Figs. 4 and 5).
+// GPU-8 and 72-SM configurations of Figs. 4 and 5). Concurrent callers
+// for the same (id, n) share one computation.
 func (r *Runner) StandaloneGPUOn(id string, n int) (Standalone, error) {
-	r.mu.Lock()
-	if m := r.aloneGPUn[n]; m != nil {
-		if s, ok := m[id]; ok {
-			r.mu.Unlock()
-			return s, nil
-		}
-	}
-	r.mu.Unlock()
+	c := r.gpuCell(id, n)
+	c.once.Do(func() {
+		c.s, c.err = r.computeStandaloneGPU(id, n)
+	})
+	return c.s, c.err
+}
 
+func (r *Runner) computeStandaloneGPU(id string, n int) (Standalone, error) {
 	prof, err := workload.GPUProfileByID(id)
 	if err != nil {
 		return Standalone{}, err
@@ -140,25 +183,20 @@ func (r *Runner) StandaloneGPUOn(id string, n int) (Standalone, error) {
 	if !res.Kernels[0].Finished {
 		return Standalone{}, fmt.Errorf("experiments: standalone %s on %d SMs did not finish", id, n)
 	}
-	s := standaloneFrom(res, 0, false)
-	r.mu.Lock()
-	if r.aloneGPUn[n] == nil {
-		r.aloneGPUn[n] = make(map[string]Standalone)
-	}
-	r.aloneGPUn[n][id] = s
-	r.mu.Unlock()
-	return s, nil
+	return standaloneFrom(res, 0, false), nil
 }
 
 // StandalonePIM runs (and caches) PIM kernel id alone on the PIM SMs.
+// Concurrent callers for the same id share one computation.
 func (r *Runner) StandalonePIM(id string) (Standalone, error) {
-	r.mu.Lock()
-	if s, ok := r.alonePIM[id]; ok {
-		r.mu.Unlock()
-		return s, nil
-	}
-	r.mu.Unlock()
+	c := r.pimCell(id)
+	c.once.Do(func() {
+		c.s, c.err = r.computeStandalonePIM(id)
+	})
+	return c.s, c.err
+}
 
+func (r *Runner) computeStandalonePIM(id string) (Standalone, error) {
 	prof, err := workload.PIMProfileByID(id)
 	if err != nil {
 		return Standalone{}, err
@@ -178,11 +216,7 @@ func (r *Runner) StandalonePIM(id string) (Standalone, error) {
 	if !res.Kernels[0].Finished {
 		return Standalone{}, fmt.Errorf("experiments: standalone %s did not finish", id)
 	}
-	s := standaloneFrom(res, 0, true)
-	r.mu.Lock()
-	r.alonePIM[id] = s
-	r.mu.Unlock()
-	return s, nil
+	return standaloneFrom(res, 0, true), nil
 }
 
 // Pair is the outcome of one competitive co-execution.
@@ -213,6 +247,12 @@ type Pair struct {
 
 	// Aborted marks runs that starved before both kernels finished.
 	Aborted bool
+
+	// Manifest identifies the underlying contended run (always set).
+	Manifest *telemetry.Manifest
+	// Telemetry carries the run's metrics registry and sample ring when
+	// telemetry collection was enabled (nil otherwise).
+	Telemetry *telemetry.Collector
 }
 
 func speedup(alone uint64, contended uint64) float64 {
@@ -277,7 +317,36 @@ func (r *Runner) Competitive(gpuID, pimID, policy string, mode config.VCMode) (P
 	if gAlone.MCRate > 0 {
 		p.MemArrivalNorm = res.Stats.MCArrivalRate(0) / gAlone.MCRate
 	}
+	if res.Manifest != nil {
+		res.Manifest.Policy = policy
+		res.Manifest.VCMode = mode.String()
+		res.Manifest.Scale = r.Scale
+	}
+	p.Manifest = res.Manifest
+	p.Telemetry = res.Telemetry
+	if r.TelemetryDir != "" && res.Telemetry != nil {
+		if err := r.writePairTelemetry(&p); err != nil {
+			return Pair{}, err
+		}
+	}
 	return p, nil
+}
+
+// writePairTelemetry dumps one pair's JSONL capture into TelemetryDir.
+func (r *Runner) writePairTelemetry(p *Pair) error {
+	if err := os.MkdirAll(r.TelemetryDir, 0o755); err != nil {
+		return fmt.Errorf("experiments: telemetry dir: %w", err)
+	}
+	name := fmt.Sprintf("%s_%s_%s_%s.jsonl", p.GPUID, p.PIMID, p.Policy, p.Mode)
+	f, err := os.Create(filepath.Join(r.TelemetryDir, name))
+	if err != nil {
+		return fmt.Errorf("experiments: telemetry file: %w", err)
+	}
+	defer f.Close()
+	if err := telemetry.WriteJSONL(f, p.Manifest, p.Telemetry.Registry, p.Telemetry.Sampler.Snapshots()); err != nil {
+		return fmt.Errorf("experiments: write telemetry: %w", err)
+	}
+	return f.Close()
 }
 
 // DefaultGPUKernels and DefaultPIMKernels are the quick-sweep subsets

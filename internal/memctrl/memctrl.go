@@ -17,6 +17,7 @@ import (
 	"repro/internal/request"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -54,6 +55,13 @@ type Controller struct {
 
 	tr *trace.Recorder // nil = tracing off
 
+	// Telemetry handles; nil when telemetry is off (their methods no-op
+	// on nil receivers, so the hot path pays only the calls).
+	tmMemMode   *telemetry.Counter
+	tmPIMMode   *telemetry.Counter
+	tmDrain     *telemetry.Counter
+	tmDrainHist *telemetry.Histogram
+
 	// Scratch buffers for the FR-FCFS engine, reused across cycles.
 	candOldest []*request.Request
 	candHit    []*request.Request
@@ -84,6 +92,21 @@ func (c *Controller) Channel() *dram.Channel { return c.ch }
 
 // SetTrace installs an event recorder (nil disables tracing).
 func (c *Controller) SetTrace(tr *trace.Recorder) { c.tr = tr }
+
+// SetTelemetry installs this channel's telemetry handles (nil disables)
+// and forwards the DRAM command counters to the timing model.
+func (c *Controller) SetTelemetry(tm *telemetry.ChannelMetrics) {
+	if tm == nil {
+		c.tmMemMode, c.tmPIMMode, c.tmDrain, c.tmDrainHist = nil, nil, nil, nil
+		c.ch.SetTelemetry(nil)
+		return
+	}
+	c.tmMemMode = tm.MemModeCycles
+	c.tmPIMMode = tm.PIMModeCycles
+	c.tmDrain = tm.DrainCycles
+	c.tmDrainHist = tm.DrainLatency
+	c.ch.SetTelemetry(tm)
+}
 
 // Trace returns the installed recorder, if any.
 func (c *Controller) Trace() *trace.Recorder { return c.tr }
@@ -202,6 +225,15 @@ func (c *Controller) Tick(now uint64) {
 		c.st.PIMQOccupancySum += uint64(len(c.pimQ))
 		c.st.SampledCycles++
 	}
+	// Mode residency: drain cycles count toward the mode being drained
+	// from, but are also tracked separately.
+	if c.switching {
+		c.tmDrain.Inc()
+	} else if c.mode == sched.ModeMEM {
+		c.tmMemMode.Inc()
+	} else {
+		c.tmPIMMode.Inc()
+	}
 	c.completeInflight(now)
 	if c.ch.RefreshDue(now) {
 		// All-bank refresh outranks mode arbitration: stall new issue,
@@ -277,6 +309,7 @@ func (c *Controller) finishSwitch(now uint64) {
 			c.st.DrainLatencySum += now - c.drainStart
 		}
 	}
+	c.tmDrainHist.Observe(float64(now - c.drainStart))
 	c.policy.OnSwitch(view{c}, c.mode)
 	c.record(trace.EvSwitchDone, -1, 0, 0, from.String()+"->"+c.mode.String())
 }

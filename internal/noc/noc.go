@@ -19,6 +19,7 @@ package noc
 import (
 	"repro/internal/config"
 	"repro/internal/request"
+	"repro/internal/telemetry"
 )
 
 // VCID indexes a virtual channel within a queue.
@@ -148,6 +149,11 @@ type Network struct {
 	rrInput  []int      // per output: round-robin pointer over inputs
 	lastVC   []VCID     // per input link: VC served previously
 	usedThis []bool     // per input: sent a flit this cycle (scratch)
+
+	// Telemetry handles; nil when telemetry is off (methods no-op on nil
+	// receivers).
+	tmInjected *telemetry.Counter
+	tmRejected *telemetry.Counter
 }
 
 // New builds the network for the given configuration.
@@ -184,7 +190,23 @@ func (n *Network) InputSpace(sm int, kind request.Kind) int {
 // Inject enqueues a request at SM sm's input port, returning false when
 // the port (the request's VC under VC2) is full.
 func (n *Network) Inject(sm int, r *request.Request) bool {
-	return n.inputs[sm].Push(r)
+	if !n.inputs[sm].Push(r) {
+		n.tmRejected.Inc()
+		return false
+	}
+	n.tmInjected.Inc()
+	return true
+}
+
+// SetTelemetry installs the interconnect's telemetry handles (nil
+// disables them).
+func (n *Network) SetTelemetry(tm *telemetry.NoCMetrics) {
+	if tm == nil {
+		n.tmInjected, n.tmRejected = nil, nil
+		return
+	}
+	n.tmInjected = tm.Injected
+	n.tmRejected = tm.Rejected
 }
 
 // Output returns channel ch's interconnect->L2 queue, from which the L2

@@ -1,0 +1,44 @@
+// Package profiling captures CPU and heap profiles for the CLIs'
+// -pprof flag.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into dir/cpu.pprof (creating dir). The
+// returned stop function ends the CPU profile and writes a heap profile
+// to dir/heap.pprof; call it exactly once, typically via defer.
+func Start(dir string) (stop func() error, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		defer heap.Close()
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		return heap.Close()
+	}, nil
+}

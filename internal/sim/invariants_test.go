@@ -120,6 +120,9 @@ func TestMoreSMsFinishFaster(t *testing.T) {
 // PIM kernel; the run must abort instead of spinning forever, and the
 // starved kernel must report zero/partial progress.
 func TestStarvationAborts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starvation run takes seconds; skipped in -short mode")
+	}
 	cfg := testCfg()
 	cfg.NoC.Mode = config.VC2 // isolate starvation at the controller
 	gpuSMs, pimSMs := GPUAndPIMSMs(cfg)

@@ -13,6 +13,8 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
 	"repro/internal/addrmap"
 	"repro/internal/cache"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/request"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -86,6 +89,13 @@ type Result struct {
 	// Samples holds the execution timeline when EnableSampling was
 	// called (nil otherwise).
 	Samples []Sample
+	// Manifest identifies the run (config hash, seed, revision, wall
+	// time). Always attached; the allocation counters inside are filled
+	// only while telemetry is enabled.
+	Manifest *telemetry.Manifest
+	// Telemetry carries the run's metrics registry and sample ring when
+	// telemetry was enabled (nil otherwise).
+	Telemetry *telemetry.Collector
 }
 
 // System is one configured simulation instance. Build with New, run with
@@ -120,6 +130,9 @@ type System struct {
 
 	sampleEvery uint64
 	samples     []Sample
+
+	tel      *telemetry.Collector
+	telEvery uint64
 }
 
 // Sample is one point of the optional execution timeline (see
@@ -167,6 +180,63 @@ func (s *System) takeSample() {
 		MemQ:      float64(memQ) / float64(len(s.mcs)),
 		PIMQ:      float64(pimQ) / float64(len(s.mcs)),
 	})
+}
+
+// EnableTelemetry attaches a telemetry collector to the system: per-channel
+// and interconnect hot-path counters plus an epoch sampler recording every
+// interval GPU cycles into a ring of ringCap snapshots (zeros pick the
+// package defaults). Call before Run; returns the collector (also attached
+// to Result.Telemetry). New calls this automatically when the process-wide
+// telemetry.Enable switch is on.
+func (s *System) EnableTelemetry(interval uint64, ringCap int) *telemetry.Collector {
+	s.tel = telemetry.NewCollector(len(s.mcs), interval, ringCap)
+	s.telEvery = s.tel.Sampler.Interval()
+	for ch, mc := range s.mcs {
+		mc.SetTelemetry(s.tel.Channel(ch))
+	}
+	s.network.SetTelemetry(s.tel.NoC())
+	return s.tel
+}
+
+// takeTelemetrySample snapshots per-channel and per-app state into the
+// collector's ring.
+func (s *System) takeTelemetrySample() {
+	snap := telemetry.Snapshot{
+		GPUCycle:  s.gpuCycle,
+		DRAMCycle: s.dramCycle,
+		Channels:  make([]telemetry.ChannelSample, len(s.mcs)),
+		Apps:      make([]telemetry.AppSample, len(s.kernels)),
+	}
+	for ch, mc := range s.mcs {
+		st := &s.st.Channels[ch]
+		cm := s.tel.Channel(ch)
+		m, p := mc.QueueLens()
+		snap.Channels[ch] = telemetry.ChannelSample{
+			MemQ:             m,
+			PIMQ:             p,
+			Mode:             mc.Mode().String(),
+			Switches:         st.Switches,
+			MemModeCycles:    cm.MemModeCycles.Value(),
+			PIMModeCycles:    cm.PIMModeCycles.Value(),
+			DrainCycles:      cm.DrainCycles.Value(),
+			RBHR:             st.RBHR(),
+			BLP:              st.BLP(),
+			MemQOccupancySum: st.MemQOccupancySum,
+			PIMQOccupancySum: st.PIMQOccupancySum,
+			SampledCycles:    st.SampledCycles,
+		}
+	}
+	for app, k := range s.kernels {
+		// Completed comes from the stats counter, which is monotonic
+		// across kernel restarts (Kernel.Completed resets per run).
+		snap.Apps[app] = telemetry.AppSample{
+			Injected:    s.st.Apps[app].NoCInjected,
+			Arrived:     s.st.Apps[app].MCArrived,
+			Completed:   s.st.Apps[app].Completed,
+			StallCycles: k.StallCycles,
+		}
+	}
+	s.tel.Sampler.Record(snap)
 }
 
 // SetRunOnce disables kernel relaunching: each kernel runs exactly once
@@ -230,6 +300,9 @@ func New(cfg config.Config, policy sched.PolicyFactory, descs []KernelDesc) (*Sy
 		}
 		s.kernels = append(s.kernels, k)
 		s.isPIM = append(s.isPIM, d.PIM != nil)
+	}
+	if telemetry.Enabled() {
+		s.EnableTelemetry(0, 0)
 	}
 	return s, nil
 }
@@ -535,6 +608,9 @@ func (s *System) step() {
 	if s.sampleEvery > 0 && s.gpuCycle%s.sampleEvery == 0 {
 		s.takeSample()
 	}
+	if s.telEvery > 0 && s.gpuCycle%s.telEvery == 0 {
+		s.takeTelemetrySample()
+	}
 }
 
 // Run executes the co-execution protocol of Sec. III-B: every kernel is
@@ -547,6 +623,11 @@ func (s *System) Run() (*Result, error) {
 		return nil, fmt.Errorf("sim: System is single-use; build a new one")
 	}
 	s.ran = true
+	wallStart := time.Now()
+	manifest := telemetry.NewManifest(s.cfg, s.cfg.Seed, s.cfg.Memory.Channels, s.cfg.GPU.NumSMs)
+	for _, k := range s.kernels {
+		manifest.Kernels = append(manifest.Kernels, k.Label())
+	}
 	for _, k := range s.kernels {
 		k.Start(0)
 	}
@@ -612,12 +693,25 @@ func (s *System) Run() (*Result, error) {
 
 	s.st.GPUCycles = s.gpuCycle
 	s.st.DRAMCycles = s.dramCycle
+	if s.tel != nil {
+		// Close the time series with the end-of-run state, so even runs
+		// shorter than one epoch produce a timeline point.
+		s.takeTelemetrySample()
+	}
+	manifest.Finish(wallStart, s.gpuCycle, s.dramCycle, aborted, runtime.NumGoroutine())
+	if s.tel != nil {
+		manifest.SampleInterval = s.telEvery
+		manifest.Samples = len(s.tel.Sampler.Snapshots())
+		manifest.SamplesDropped = s.tel.Sampler.Dropped()
+	}
 	res := &Result{
 		Stats:      s.st,
 		GPUCycles:  s.gpuCycle,
 		DRAMCycles: s.dramCycle,
 		Aborted:    aborted,
 		Samples:    s.samples,
+		Manifest:   manifest,
+		Telemetry:  s.tel,
 	}
 	for app, k := range s.kernels {
 		kr := KernelResult{

@@ -228,6 +228,9 @@ func TestIPolyMappingRuns(t *testing.T) {
 }
 
 func TestVC2ReducesMEMDenialUnderPIMFlood(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PIM-flood comparison takes seconds; skipped in -short mode")
+	}
 	base := testCfg()
 	gpuSMs, pimSMs := GPUAndPIMSMs(base)
 	run := func(mode config.VCMode) *Result {

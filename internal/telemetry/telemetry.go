@@ -1,0 +1,122 @@
+// Package telemetry is the simulator's observability layer: a lightweight
+// metrics registry (counters, gauges, histograms), an epoch sampler that
+// snapshots per-channel and per-app state into a bounded in-memory ring,
+// and a run manifest identifying every simulation (config hash, seed,
+// git revision, wall time, allocation footprint).
+//
+// Collection is off by default and gated by a single process-wide switch
+// (Enable). When disabled the hot paths see either a nil collector or nil
+// metric handles — every metric method is nil-receiver safe and returns
+// immediately — so an uninstrumented run pays one predictable branch per
+// instrumentation site and nothing else. When enabled, counters are
+// single-writer-per-channel increments and the sampler runs at epoch
+// granularity, keeping the overhead far below the simulation work itself.
+//
+// The package is self-contained (stdlib only, no simulator imports) so
+// any layer — sim, memctrl, noc, dram, the experiment runner, the CLIs —
+// can depend on it without cycles.
+package telemetry
+
+import "sync/atomic"
+
+var enabled atomic.Bool
+
+// Enable flips the process-wide collection switch. Call it before
+// building simulation systems; systems built while disabled carry no
+// collector.
+func Enable(on bool) { enabled.Store(on) }
+
+// Enabled reports whether telemetry collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// Collector bundles one run's telemetry: the metrics registry, the epoch
+// sampler ring, and the per-channel hot-path metric handles. A Collector
+// belongs to exactly one sim.System; concurrent simulations each carry
+// their own, so parallel sweeps never share metric state.
+type Collector struct {
+	Registry *Registry
+	Sampler  *Sampler
+
+	channels []*ChannelMetrics
+	noc      *NoCMetrics
+}
+
+// NewCollector builds a collector for a system with the given channel
+// count. interval is the sampling epoch in GPU cycles (0 picks the
+// default); ringCap bounds the sample ring (0 picks the default).
+func NewCollector(channels int, interval uint64, ringCap int) *Collector {
+	c := &Collector{
+		Registry: NewRegistry(),
+		Sampler:  NewSampler(interval, ringCap),
+		channels: make([]*ChannelMetrics, channels),
+	}
+	for ch := range c.channels {
+		c.channels[ch] = newChannelMetrics(c.Registry, ch)
+	}
+	c.noc = newNoCMetrics(c.Registry)
+	return c
+}
+
+// Channel returns channel ch's hot-path metric handles (nil-safe: a nil
+// collector yields nil handles, whose methods no-op).
+func (c *Collector) Channel(ch int) *ChannelMetrics {
+	if c == nil {
+		return nil
+	}
+	return c.channels[ch]
+}
+
+// NoC returns the interconnect metric handles.
+func (c *Collector) NoC() *NoCMetrics {
+	if c == nil {
+		return nil
+	}
+	return c.noc
+}
+
+// ChannelMetrics are the per-memory-channel hot-path instruments: mode
+// residency (DRAM cycles spent servicing each mode and draining toward a
+// switch), DRAM command counts, and the per-switch drain latency
+// distribution.
+type ChannelMetrics struct {
+	MemModeCycles *Counter
+	PIMModeCycles *Counter
+	DrainCycles   *Counter
+	Activates     *Counter
+	Precharges    *Counter
+	Refreshes     *Counter
+	DrainLatency  *Histogram
+}
+
+func newChannelMetrics(r *Registry, ch int) *ChannelMetrics {
+	return &ChannelMetrics{
+		MemModeCycles: r.Counter(Name("mc", ch, "mem_mode_cycles")),
+		PIMModeCycles: r.Counter(Name("mc", ch, "pim_mode_cycles")),
+		DrainCycles:   r.Counter(Name("mc", ch, "drain_cycles")),
+		Activates:     r.Counter(Name("mc", ch, "activates")),
+		Precharges:    r.Counter(Name("mc", ch, "precharges")),
+		Refreshes:     r.Counter(Name("mc", ch, "refreshes")),
+		DrainLatency:  r.Histogram(Name("mc", ch, "drain_latency"), DrainBuckets()),
+	}
+}
+
+// NoCMetrics are the interconnect instruments: accepted and refused
+// injections (the backpressure the paper's denial-of-service story is
+// about).
+type NoCMetrics struct {
+	Injected *Counter
+	Rejected *Counter
+}
+
+func newNoCMetrics(r *Registry) *NoCMetrics {
+	return &NoCMetrics{
+		Injected: r.Counter("noc/injected"),
+		Rejected: r.Counter("noc/rejected"),
+	}
+}
+
+// DrainBuckets returns the default histogram bounds for switch-drain
+// latencies in DRAM cycles.
+func DrainBuckets() []float64 {
+	return []float64{4, 8, 16, 32, 64, 128, 256, 512}
+}

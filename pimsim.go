@@ -22,6 +22,8 @@
 package pimsim
 
 import (
+	"io"
+
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -32,6 +34,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -241,6 +244,42 @@ type (
 	TraceRecorder = trace.Recorder
 	TraceEvent    = trace.Event
 )
+
+// Telemetry: the observability layer (see docs/ARCHITECTURE.md,
+// "Observability"). EnableTelemetry flips the process-wide collection
+// switch; systems built while it is on carry a TelemetryCollector
+// (metrics registry + epoch sample ring) and every Result carries a
+// TelemetryManifest identifying the run.
+type (
+	TelemetryCollector = telemetry.Collector
+	TelemetryManifest  = telemetry.Manifest
+	TelemetrySnapshot  = telemetry.Snapshot
+	TelemetryRegistry  = telemetry.Registry
+	MetricPoint        = telemetry.MetricPoint
+)
+
+// EnableTelemetry turns process-wide telemetry collection on or off.
+// Call before building systems or runners.
+func EnableTelemetry(on bool) { telemetry.Enable(on) }
+
+// TelemetryEnabled reports whether collection is on.
+func TelemetryEnabled() bool { return telemetry.Enabled() }
+
+// WriteTelemetryJSONL streams a capture (manifest, metrics, time series)
+// as JSON Lines; ReadTelemetryJSONL parses one back.
+func WriteTelemetryJSONL(w io.Writer, m *TelemetryManifest, reg *TelemetryRegistry, samples []TelemetrySnapshot) error {
+	return telemetry.WriteJSONL(w, m, reg, samples)
+}
+
+// ReadTelemetryJSONL parses a stream produced by WriteTelemetryJSONL.
+func ReadTelemetryJSONL(r io.Reader) (*TelemetryManifest, []MetricPoint, []TelemetrySnapshot, error) {
+	return telemetry.ReadJSONL(r)
+}
+
+// WriteTelemetryCSV flattens a telemetry time series to CSV.
+func WriteTelemetryCSV(w io.Writer, samples []TelemetrySnapshot) error {
+	return telemetry.WriteCSV(w, samples)
+}
 
 // Report rendering: CSV flattenings and SVG bar charts of experiment
 // results (the artifact's plotting scripts, in-library).
