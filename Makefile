@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet fmt-check test test-short test-race ci golden-fig8 bench figures examples clean
+.PHONY: all build vet fmt-check test test-short test-race ci golden-fig8 faults-smoke bench figures examples clean
 
 all: build vet test
 
@@ -24,8 +24,9 @@ test-race:
 	go test -race -short ./...
 
 # Mirror of .github/workflows/ci.yml: build + vet + gofmt, full tests,
-# race-shortened tests, and the golden-figure smoke check.
-ci: fmt-check build vet test test-race golden-fig8
+# race-shortened tests, the golden-figure smoke check, and the
+# fault-injection campaign smoke.
+ci: fmt-check build vet test test-race golden-fig8 faults-smoke
 
 # Regenerate Fig. 8 on the golden subset and compare within tolerances
 # (the simulator is deterministic; this flags unintended model drift).
@@ -33,6 +34,27 @@ golden-fig8:
 	go run ./cmd/pimsweep -fig 8 -all -scale 0.2 \
 		-policies fr-fcfs,fr-rr-fcfs,gather-issue,f3fs > /tmp/fig8_ci.txt
 	go run ./cmd/figcheck -golden fig8_all180.txt -got /tmp/fig8_ci.txt
+
+# Hardened-campaign smoke: run a tiny campaign with fault injection,
+# halt it mid-way, resume from the journal, and confirm a third
+# invocation has nothing left to do.
+faults-smoke:
+	go build -o /tmp/pimcampaign_smoke ./cmd/pimcampaign
+	rm -rf /tmp/faults_smoke_campaign
+	/tmp/pimcampaign_smoke -out /tmp/faults_smoke_campaign -scale 0.1 \
+		-gpus G8 -pims P1,P2 -policies fcfs,f3fs -parallel 2 \
+		-faults "seed=7,dram=0.002:12,noc=0.001:24,throttle=40000:2000" \
+		-run-timeout 5m -halt-after 2
+	test -s /tmp/faults_smoke_campaign/journal.jsonl
+	/tmp/pimcampaign_smoke -out /tmp/faults_smoke_campaign -scale 0.1 \
+		-gpus G8 -pims P1,P2 -policies fcfs,f3fs -parallel 2 \
+		-faults "seed=7,dram=0.002:12,noc=0.001:24,throttle=40000:2000" \
+		-run-timeout 5m
+	/tmp/pimcampaign_smoke -out /tmp/faults_smoke_campaign -scale 0.1 \
+		-gpus G8 -pims P1,P2 -policies fcfs,f3fs -parallel 2 \
+		-faults "seed=7,dram=0.002:12,noc=0.001:24,throttle=40000:2000" \
+		-run-timeout 5m | grep -q "0 combinations to run"
+	@echo "faults-smoke: resume cycle OK"
 
 # One benchmark per paper table/figure, with custom metrics.
 bench:

@@ -20,9 +20,11 @@ import (
 
 func main() {
 	var (
-		scale    = flag.Float64("scale", 0.25, "workload scale factor")
-		full     = flag.Bool("full", false, "use the full Table I configuration")
-		policies = flag.String("policies", "", "comma-separated policy subset (default: all nine)")
+		scale     = flag.Float64("scale", 0.25, "workload scale factor")
+		full      = flag.Bool("full", false, "use the full Table I configuration")
+		policies  = flag.String("policies", "", "comma-separated policy subset (default: all nine)")
+		faultsStr = flag.String("faults", "", "fault schedule, e.g. seed=7,dram=0.002:12,noc=0.001:24,throttle=40000:2000")
+		runTO     = flag.Duration("run-timeout", 0, "per-simulation wall-clock budget (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -32,7 +34,17 @@ func main() {
 	} else {
 		cfg.MaxGPUCycles = 2_500_000
 	}
+	if *faultsStr != "" {
+		fs, err := pimsim.ParseFaultSchedule(*faultsStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimllm:", err)
+			os.Exit(1)
+		}
+		cfg.Faults = fs
+		fmt.Printf("fault schedule: %s\n", fs)
+	}
 	r := pimsim.NewRunner(cfg, *scale)
+	r.RunTimeout = *runTO
 
 	pols := pimsim.Policies()
 	if *policies != "" {

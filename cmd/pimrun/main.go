@@ -21,16 +21,18 @@ import (
 
 func main() {
 	var (
-		gpuID  = flag.String("gpu", "G8", "GPU kernel (G1..G20 or name)")
-		pimID  = flag.String("pim", "P1", "PIM kernel (P1..P9 or name)")
-		policy = flag.String("policy", "f3fs", "scheduling policy")
-		vc     = flag.Int("vc", 1, "interconnect config: 1 (shared) or 2 (split)")
-		scale  = flag.Float64("scale", 0.25, "workload scale factor")
-		full   = flag.Bool("full", false, "use the full Table I configuration")
-		memCap = flag.Int("mem-cap", 0, "F3FS MEM CAP override")
-		pimCap = flag.Int("pim-cap", 0, "F3FS PIM CAP override")
-		telOut = flag.String("telemetry-out", "", "write the run's telemetry capture (JSONL) to this file")
-		pprofD = flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
+		gpuID     = flag.String("gpu", "G8", "GPU kernel (G1..G20 or name)")
+		pimID     = flag.String("pim", "P1", "PIM kernel (P1..P9 or name)")
+		policy    = flag.String("policy", "f3fs", "scheduling policy")
+		vc        = flag.Int("vc", 1, "interconnect config: 1 (shared) or 2 (split)")
+		scale     = flag.Float64("scale", 0.25, "workload scale factor")
+		full      = flag.Bool("full", false, "use the full Table I configuration")
+		memCap    = flag.Int("mem-cap", 0, "F3FS MEM CAP override")
+		pimCap    = flag.Int("pim-cap", 0, "F3FS PIM CAP override")
+		faultsStr = flag.String("faults", "", "fault schedule, e.g. seed=7,dram=0.002:12,noc=0.001:24,throttle=40000:2000")
+		runTO     = flag.Duration("run-timeout", 0, "per-simulation wall-clock budget (0 = unbounded)")
+		telOut    = flag.String("telemetry-out", "", "write the run's telemetry capture (JSONL) to this file")
+		pprofD    = flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
 	)
 	flag.Parse()
 
@@ -60,12 +62,21 @@ func main() {
 	if *pimCap > 0 {
 		cfg.Sched.F3FSPIMCap = *pimCap
 	}
+	if *faultsStr != "" {
+		fs, err := pimsim.ParseFaultSchedule(*faultsStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimrun:", err)
+			os.Exit(1)
+		}
+		cfg.Faults = fs
+	}
 	mode := pimsim.VC1
 	if *vc == 2 {
 		mode = pimsim.VC2
 	}
 
 	r := pimsim.NewRunner(cfg, *scale)
+	r.RunTimeout = *runTO
 	pair, err := r.Competitive(*gpuID, *pimID, *policy, mode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimrun:", err)
@@ -85,6 +96,10 @@ func main() {
 	if pair.Aborted {
 		fmt.Println("NOTE: run aborted (starvation); partial progress extrapolated")
 	}
+	if fc := pair.Faults; fc != nil {
+		fmt.Printf("faults injected : %d DRAM retries (%d cycles), %d NoC stalls (%d cycles), %d throttled cycles\n",
+			fc.DRAMRetries, fc.DRAMRetryCycles, fc.NoCLinkStalls, fc.NoCLinkStallCycles, fc.ThrottledCycles)
+	}
 	if pair.Manifest != nil {
 		fmt.Printf("manifest        : %s\n", pair.Manifest.Summary())
 	}
@@ -101,13 +116,5 @@ func writeTelemetry(path string, pair pimsim.Pair) error {
 	if pair.Telemetry == nil {
 		return fmt.Errorf("no telemetry collected")
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := pimsim.WriteTelemetryJSONL(f, pair.Manifest, pair.Telemetry.Registry, pair.Telemetry.Sampler.Snapshots()); err != nil {
-		return err
-	}
-	return f.Close()
+	return pimsim.WriteTelemetryFile(path, pair.Manifest, pair.Telemetry.Registry, pair.Telemetry.Sampler.Snapshots())
 }

@@ -31,14 +31,18 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "8", "figure to regenerate (4,5,6,8,10,13,14a,14b,cap,bliss)")
-		all      = flag.Bool("all", false, "sweep all 20 GPU x 9 PIM kernels")
-		full     = flag.Bool("full", false, "use the full Table I configuration")
-		scale    = flag.Float64("scale", 0.25, "workload scale factor")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
-		policies = flag.String("policies", "", "comma-separated policy subset (default: all nine)")
-		telOut   = flag.String("telemetry-out", "", "write per-pair telemetry captures (JSONL) into this directory")
-		pprofD   = flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
+		fig       = flag.String("fig", "8", "figure to regenerate (4,5,6,8,10,13,14a,14b,cap,bliss)")
+		all       = flag.Bool("all", false, "sweep all 20 GPU x 9 PIM kernels")
+		full      = flag.Bool("full", false, "use the full Table I configuration")
+		scale     = flag.Float64("scale", 0.25, "workload scale factor")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
+		policies  = flag.String("policies", "", "comma-separated policy subset (default: all nine)")
+		faultsStr = flag.String("faults", "", "fault schedule, e.g. seed=7,dram=0.002:12,noc=0.001:24,throttle=40000:2000")
+		runTO     = flag.Duration("run-timeout", 0, "per-simulation wall-clock budget (0 = unbounded)")
+		journalF  = flag.String("journal", "", "checkpoint competitive pairs in this journal file")
+		resume    = flag.Bool("resume", true, "resume from the journal; -resume=false starts fresh")
+		telOut    = flag.String("telemetry-out", "", "write per-pair telemetry captures (JSONL) into this directory")
+		pprofD    = flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
 	)
 	flag.Parse()
 
@@ -67,9 +71,33 @@ func main() {
 		// quick-sweep scales.
 		cfg.MaxGPUCycles = 2_500_000
 	}
+	if *faultsStr != "" {
+		fs, err := pimsim.ParseFaultSchedule(*faultsStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimsweep:", err)
+			os.Exit(1)
+		}
+		cfg.Faults = fs
+		fmt.Printf("fault schedule: %s\n", fs)
+	}
 	r := pimsim.NewRunner(cfg, *scale)
 	r.Parallel = *parallel
 	r.TelemetryDir = *telOut
+	r.RunTimeout = *runTO
+	if *journalF != "" {
+		if !*resume {
+			if err := os.Remove(*journalF); err != nil && !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, "pimsweep:", err)
+				os.Exit(1)
+			}
+		}
+		j, err := pimsim.OpenJournal(*journalF, cfg, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimsweep:", err)
+			os.Exit(1)
+		}
+		r.Journal = j
+	}
 
 	gpus, pims := pimsim.DefaultGPUKernels(), pimsim.DefaultPIMKernels()
 	if *all {

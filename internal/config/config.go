@@ -4,7 +4,11 @@
 // the full experiment sweeps finish in minutes on a laptop.
 package config
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/faults"
+)
 
 // GPU holds the host-processor parameters (Table I, top half).
 type GPU struct {
@@ -248,6 +252,10 @@ type Config struct {
 	Seed int64
 	// MaxGPUCycles aborts a simulation that fails to converge.
 	MaxGPUCycles uint64
+	// Faults is the optional transient-fault schedule (internal/faults).
+	// The zero value disables injection and keeps runs bit-identical to a
+	// fault-free build; a schedule with Seed 0 inherits Config.Seed.
+	Faults faults.Schedule
 }
 
 // Paper returns the full Table I configuration.
@@ -361,6 +369,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: G&I low watermark %d must be below high %d", c.Sched.GILowWatermark, c.Sched.GIHighWatermark)
 	case c.Sched.F3FSMemCap <= 0 || c.Sched.F3FSPIMCap <= 0:
 		return fmt.Errorf("config: F3FS caps must be positive")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/faults"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -94,6 +95,11 @@ type Channel struct {
 	tmActivates  *telemetry.Counter
 	tmPrecharges *telemetry.Counter
 	tmRefreshes  *telemetry.Counter
+
+	// Fault injector handle; nil (the default) means no injection and a
+	// bit-identical command stream to a fault-free run.
+	flt   *faults.Injector
+	fltCh int
 }
 
 // NewChannel builds a channel with all banks closed at cycle 0. The stats
@@ -124,6 +130,13 @@ func (c *Channel) SetTelemetry(tm *telemetry.ChannelMetrics) {
 	c.tmActivates = tm.Activates
 	c.tmPrecharges = tm.Precharges
 	c.tmRefreshes = tm.Refreshes
+}
+
+// SetFaults attaches the run's fault injector (nil disables injection)
+// and records which fault channel this DRAM channel draws from.
+func (c *Channel) SetFaults(inj *faults.Injector, channelID int) {
+	c.flt = inj
+	c.fltCh = channelID
 }
 
 // burstCycles returns the data-bus occupancy of one access in DRAM cycles
@@ -343,6 +356,20 @@ func (c *Channel) Column(bankIdx int, row uint32, write bool, now uint64) (doneA
 		}
 	}
 	b.openedByPIM = false
+	if c.flt != nil {
+		// A transient ECC correction / read retry extends this command:
+		// the data (and for writes the recovery window) lands late, and
+		// the bank stays busy through the retry.
+		if extra := c.flt.CASDelay(c.fltCh); extra > 0 {
+			doneAt += extra
+			if b.busyUntil < doneAt {
+				b.busyUntil = doneAt
+			}
+			if write && b.preReadyAt < doneAt {
+				b.preReadyAt = doneAt
+			}
+		}
+	}
 	return doneAt
 }
 

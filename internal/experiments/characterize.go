@@ -18,8 +18,11 @@ type BoxStats struct {
 }
 
 func boxOf(xs []float64) BoxStats {
-	min, q1, med, q3, max := stats.Quartiles(xs)
-	return BoxStats{Min: min, Q1: q1, Median: med, Q3: q3, Max: max}
+	q, ok := stats.QuartilesOf(xs)
+	if !ok {
+		return BoxStats{} // empty group: render a degenerate box
+	}
+	return BoxStats{Min: q.Min, Q1: q.Q1, Median: q.Median, Q3: q.Q3, Max: q.Max}
 }
 
 // Characterization reproduces Fig. 4: the memory access characteristics

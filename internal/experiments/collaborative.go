@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -49,7 +50,7 @@ func (r *Runner) computeLLMStandalone() (qkv, mha uint64, err error) {
 			return 0, err
 		}
 		sys.SetRunOnce(true)
-		res, err := sys.Run()
+		res, err := r.runSystem(context.Background(), cfg, sys, runID{What: "llm-standalone"})
 		if err != nil {
 			return 0, err
 		}
@@ -103,7 +104,9 @@ func (r *Runner) Collaborative(policy string, mode config.VCMode, memCap, pimCap
 		return CollabResult{}, err
 	}
 	sys.SetRunOnce(true)
-	res, err := sys.Run()
+	res, err := r.runSystem(context.Background(), cfg, sys, runID{
+		Policy: policy, Mode: mode.String(), What: "collaborative",
+	})
 	if err != nil {
 		return CollabResult{}, err
 	}

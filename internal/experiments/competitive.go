@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,26 +21,45 @@ type Sweep struct {
 	PIMIDs   []string
 	// Pairs[mode][policy][gpu][pim]
 	Pairs map[config.VCMode]map[string]map[string]map[string]Pair
+	// Failed maps PairKey -> the structured failure of combinations that
+	// panicked or timed out; the rest of the sweep still completes.
+	Failed map[string]*RunError
 }
 
 // RunSweep executes the competitive cross product (Figs. 6, 8, 10, 13
 // all reduce this sweep differently).
 func (r *Runner) RunSweep(gpuIDs, pimIDs, policies []string, modes []config.VCMode) (*Sweep, error) {
+	return r.RunSweepCtx(context.Background(), gpuIDs, pimIDs, policies, modes)
+}
+
+// RunSweepCtx is RunSweep under a campaign context. A combination that
+// fails with a *RunError (panic, per-run timeout) is recorded in
+// Sweep.Failed — and in the runner's Journal, when attached — while the
+// remaining combinations still run. Cancelling ctx stops the sweep and
+// returns the partial Sweep alongside the context's error.
+func (r *Runner) RunSweepCtx(ctx context.Context, gpuIDs, pimIDs, policies []string, modes []config.VCMode) (*Sweep, error) {
 	s := &Sweep{
 		Policies: policies,
 		Modes:    modes,
 		GPUIDs:   gpuIDs,
 		PIMIDs:   pimIDs,
 		Pairs:    map[config.VCMode]map[string]map[string]map[string]Pair{},
+		Failed:   map[string]*RunError{},
 	}
 	// Pre-warm the standalone caches serially so parallel workers only
 	// read them.
 	for _, g := range gpuIDs {
+		if err := ctx.Err(); err != nil {
+			return s, err
+		}
 		if _, err := r.StandaloneGPU(g); err != nil {
 			return nil, err
 		}
 	}
 	for _, p := range pimIDs {
+		if err := ctx.Err(); err != nil {
+			return s, err
+		}
 		if _, err := r.StandalonePIM(p); err != nil {
 			return nil, err
 		}
@@ -52,9 +73,17 @@ func (r *Runner) RunSweep(gpuIDs, pimIDs, policies []string, modes []config.VCMo
 				s.Pairs[mode][policy][g] = map[string]Pair{}
 			}
 			mode, policy := mode, policy
-			err := r.forEachPair(gpuIDs, pimIDs, func(g, p string) error {
-				pair, err := r.Competitive(g, p, policy, mode)
+			err := r.forEachPairCtx(ctx, gpuIDs, pimIDs, func(g, p string) error {
+				pair, err := r.CompetitiveCtx(ctx, g, p, policy, mode)
 				if err != nil {
+					var re *RunError
+					if errors.As(err, &re) && re.Kind != "canceled" {
+						// Quarantine the failure; the sweep goes on.
+						mu.Lock()
+						s.Failed[PairKey(g, p, policy, mode)] = re
+						mu.Unlock()
+						return nil
+					}
 					return err
 				}
 				mu.Lock()
@@ -63,7 +92,7 @@ func (r *Runner) RunSweep(gpuIDs, pimIDs, policies []string, modes []config.VCMo
 				return nil
 			})
 			if err != nil {
-				return nil, err
+				return s, err
 			}
 		}
 	}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/telemetry"
+)
+
+// JournalSchema versions the checkpoint format; bump on incompatible
+// change.
+const JournalSchema = "pimsim-journal/v1"
+
+// PairKey is the canonical journal key of one competitive combination.
+func PairKey(gpuID, pimID, policy string, mode config.VCMode) string {
+	return fmt.Sprintf("%s_%s_%s_%s", gpuID, pimID, policy, mode)
+}
+
+type journalHeader struct {
+	Schema     string  `json:"schema"`
+	ConfigHash string  `json:"config_hash"`
+	Scale      float64 `json:"scale"`
+}
+
+// JournalEntry is one journaled run outcome: a completed Pair or a
+// structured failure.
+type JournalEntry struct {
+	Key    string    `json:"key"`
+	Status string    `json:"status"` // "done" or "failed"
+	Pair   *Pair     `json:"pair,omitempty"`
+	Error  *RunError `json:"error,omitempty"`
+}
+
+// Journal checkpoints a campaign's completed pairs so an interrupted
+// sweep resumes where it left off. The on-disk format is JSONL — a
+// header identifying the config (hash + scale) followed by one entry per
+// finished or failed pair — rewritten atomically (temp file + rename) on
+// every record, so a kill at any instant leaves either the previous or
+// the new complete journal. Safe for concurrent use by parallel workers.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	header  journalHeader
+	entries map[string]JournalEntry
+	order   []string
+}
+
+// OpenJournal loads (or initializes) the journal at path for a campaign
+// over the given config and scale. Existing entries are kept only when
+// the header matches this campaign's config hash and scale — a journal
+// from a different config (including a different fault schedule, which
+// changes the hash) is discarded rather than trusted. A truncated or
+// corrupt trailing line is tolerated: entries before it survive.
+func OpenJournal(path string, cfg config.Config, scale float64) (*Journal, error) {
+	j := &Journal{
+		path: path,
+		header: journalHeader{
+			Schema:     JournalSchema,
+			ConfigHash: telemetry.HashConfig(cfg),
+			Scale:      scale,
+		},
+		entries: make(map[string]JournalEntry),
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return j, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: open journal: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	first := true
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			var h journalHeader
+			if json.Unmarshal(line, &h) != nil || h != j.header {
+				// Different schema, config, or scale: start fresh.
+				return j, nil
+			}
+			continue
+		}
+		var e JournalEntry
+		if json.Unmarshal(line, &e) != nil || e.Key == "" {
+			break // truncated tail (killed mid-write pre-atomicity) — keep what parsed
+		}
+		if _, seen := j.entries[e.Key]; !seen {
+			j.order = append(j.order, e.Key)
+		}
+		j.entries[e.Key] = e
+	}
+	return j, nil
+}
+
+// LookupDone returns the journaled Pair of a completed combination.
+// Failed and missing combinations return ok=false, so resume re-runs
+// exactly those.
+func (j *Journal) LookupDone(key string) (Pair, bool) {
+	if j == nil {
+		return Pair{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.entries[key]
+	if !ok || e.Status != "done" || e.Pair == nil {
+		return Pair{}, false
+	}
+	return *e.Pair, true
+}
+
+// DoneCount returns how many combinations are journaled as completed.
+func (j *Journal) DoneCount() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, e := range j.entries {
+		if e.Status == "done" {
+			n++
+		}
+	}
+	return n
+}
+
+// RecordDone journals a completed pair. The pair's live telemetry
+// collector is stripped (it does not serialize; per-pair JSONL captures
+// are written separately), so a resumed campaign reproduces the numeric
+// results exactly — JSON round-trips float64 losslessly — minus the
+// in-memory telemetry handle.
+func (j *Journal) RecordDone(key string, p Pair) error {
+	if j == nil {
+		return nil
+	}
+	p.Telemetry = nil
+	return j.record(JournalEntry{Key: key, Status: "done", Pair: &p})
+}
+
+// RecordFailed journals a structured per-run failure; resume retries the
+// combination.
+func (j *Journal) RecordFailed(key string, re *RunError) error {
+	if j == nil {
+		return nil
+	}
+	return j.record(JournalEntry{Key: key, Status: "failed", Error: re})
+}
+
+func (j *Journal) record(e JournalEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, seen := j.entries[e.Key]; !seen {
+		j.order = append(j.order, e.Key)
+	}
+	j.entries[e.Key] = e
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(j.header); err != nil {
+		return fmt.Errorf("experiments: journal header: %w", err)
+	}
+	for _, key := range j.order {
+		entry := j.entries[key]
+		if err := enc.Encode(entry); err != nil {
+			return fmt.Errorf("experiments: journal entry %s: %w", key, err)
+		}
+	}
+	if err := telemetry.WriteFileAtomic(j.path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("experiments: journal write: %w", err)
+	}
+	return nil
+}

@@ -9,13 +9,18 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -40,6 +45,15 @@ type Runner struct {
 	// capture (manifest + metrics + time series) to one file per pair in
 	// that directory.
 	TelemetryDir string
+	// RunTimeout bounds each simulation's wall time (0 = unbounded); a
+	// run that exceeds it comes back as a *RunError of kind "timeout"
+	// instead of hanging the sweep.
+	RunTimeout time.Duration
+	// Journal, when non-nil, checkpoints every finished or failed
+	// competitive pair so an interrupted campaign resumes where it left
+	// off: CompetitiveCtx returns journaled "done" pairs without
+	// re-simulating.
+	Journal *Journal
 
 	// Standalone baselines are cached in single-flight cells: the first
 	// caller for a key computes inside the cell's once while later
@@ -176,7 +190,7 @@ func (r *Runner) computeStandaloneGPU(id string, n int) (Standalone, error) {
 	if err != nil {
 		return Standalone{}, err
 	}
-	res, err := sys.Run()
+	res, err := r.runSystem(context.Background(), cfg, sys, runID{GPUID: id, What: "standalone-gpu"})
 	if err != nil {
 		return Standalone{}, err
 	}
@@ -209,7 +223,7 @@ func (r *Runner) computeStandalonePIM(id string) (Standalone, error) {
 	if err != nil {
 		return Standalone{}, err
 	}
-	res, err := sys.Run()
+	res, err := r.runSystem(context.Background(), cfg, sys, runID{PIMID: id, What: "standalone-pim"})
 	if err != nil {
 		return Standalone{}, err
 	}
@@ -251,8 +265,12 @@ type Pair struct {
 	// Manifest identifies the underlying contended run (always set).
 	Manifest *telemetry.Manifest
 	// Telemetry carries the run's metrics registry and sample ring when
-	// telemetry collection was enabled (nil otherwise).
-	Telemetry *telemetry.Collector
+	// telemetry collection was enabled (nil otherwise). It is stripped
+	// before journaling.
+	Telemetry *telemetry.Collector `json:"-"`
+	// Faults counts the injected fault events of the contended run (nil
+	// when no fault schedule was active).
+	Faults *faults.Counts
 }
 
 func speedup(alone uint64, contended uint64) float64 {
@@ -265,6 +283,22 @@ func speedup(alone uint64, contended uint64) float64 {
 // Competitive runs GPU kernel gpuID against PIM kernel pimID under the
 // given policy and interconnect mode, returning the paper's metrics.
 func (r *Runner) Competitive(gpuID, pimID, policy string, mode config.VCMode) (Pair, error) {
+	return r.CompetitiveCtx(context.Background(), gpuID, pimID, policy, mode)
+}
+
+// CompetitiveCtx is Competitive under a campaign context: the contended
+// run is cancelled with the context (and bounded by RunTimeout), panics
+// and deadline expiries surface as a *RunError (journaled as "failed"
+// when a Journal is attached), and combinations the Journal already
+// records as "done" return their checkpointed Pair without simulating.
+func (r *Runner) CompetitiveCtx(ctx context.Context, gpuID, pimID, policy string, mode config.VCMode) (Pair, error) {
+	key := PairKey(gpuID, pimID, policy, mode)
+	if p, ok := r.Journal.LookupDone(key); ok {
+		return p, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Pair{}, err
+	}
 	gAlone, err := r.StandaloneGPU(gpuID)
 	if err != nil {
 		return Pair{}, err
@@ -294,8 +328,18 @@ func (r *Runner) Competitive(gpuID, pimID, policy string, mode config.VCMode) (P
 	if err != nil {
 		return Pair{}, err
 	}
-	res, err := sys.Run()
+	res, err := r.runSystem(ctx, cfg, sys, runID{
+		GPUID: gpuID, PIMID: pimID, Policy: policy, Mode: mode.String(), What: "competitive",
+	})
 	if err != nil {
+		var re *RunError
+		if errors.As(err, &re) && re.Kind != "canceled" {
+			// Journal the structured failure (cancellations are campaign
+			// shutdowns, not run outcomes; resume simply re-runs them).
+			if jerr := r.Journal.RecordFailed(key, re); jerr != nil {
+				return Pair{}, jerr
+			}
+		}
 		return Pair{}, err
 	}
 	tc := res.Stats.TotalChannel()
@@ -324,29 +368,34 @@ func (r *Runner) Competitive(gpuID, pimID, policy string, mode config.VCMode) (P
 	}
 	p.Manifest = res.Manifest
 	p.Telemetry = res.Telemetry
+	p.Faults = res.Faults
 	if r.TelemetryDir != "" && res.Telemetry != nil {
 		if err := r.writePairTelemetry(&p); err != nil {
 			return Pair{}, err
 		}
 	}
+	if err := r.Journal.RecordDone(key, p); err != nil {
+		return Pair{}, err
+	}
 	return p, nil
 }
 
-// writePairTelemetry dumps one pair's JSONL capture into TelemetryDir.
+// writePairTelemetry dumps one pair's JSONL capture into TelemetryDir,
+// atomically (temp file + rename) so a killed campaign never leaves a
+// truncated capture.
 func (r *Runner) writePairTelemetry(p *Pair) error {
 	if err := os.MkdirAll(r.TelemetryDir, 0o755); err != nil {
 		return fmt.Errorf("experiments: telemetry dir: %w", err)
 	}
 	name := fmt.Sprintf("%s_%s_%s_%s.jsonl", p.GPUID, p.PIMID, p.Policy, p.Mode)
-	f, err := os.Create(filepath.Join(r.TelemetryDir, name))
-	if err != nil {
-		return fmt.Errorf("experiments: telemetry file: %w", err)
-	}
-	defer f.Close()
-	if err := telemetry.WriteJSONL(f, p.Manifest, p.Telemetry.Registry, p.Telemetry.Sampler.Snapshots()); err != nil {
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, p.Manifest, p.Telemetry.Registry, p.Telemetry.Sampler.Snapshots()); err != nil {
 		return fmt.Errorf("experiments: write telemetry: %w", err)
 	}
-	return f.Close()
+	if err := telemetry.WriteFileAtomic(filepath.Join(r.TelemetryDir, name), buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("experiments: telemetry file: %w", err)
+	}
+	return nil
 }
 
 // DefaultGPUKernels and DefaultPIMKernels are the quick-sweep subsets
@@ -377,6 +426,13 @@ func AllPIMKernels() []string {
 // forEachPair runs fn over the cross product, optionally in parallel, and
 // collects results in deterministic order.
 func (r *Runner) forEachPair(gpuIDs, pimIDs []string, fn func(g, p string) error) error {
+	return r.forEachPairCtx(context.Background(), gpuIDs, pimIDs, fn)
+}
+
+// forEachPairCtx is forEachPair under a cancellable context: once ctx is
+// done no new job starts (in-flight jobs observe ctx through their own
+// simulation loops) and the context's error is reported.
+func (r *Runner) forEachPairCtx(ctx context.Context, gpuIDs, pimIDs []string, fn func(g, p string) error) error {
 	workers := r.Parallel
 	if workers < 1 {
 		workers = 1
@@ -390,6 +446,9 @@ func (r *Runner) forEachPair(gpuIDs, pimIDs []string, fn func(g, p string) error
 	}
 	if workers == 1 {
 		for _, j := range jobs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(j.g, j.p); err != nil {
 				return err
 			}
@@ -403,17 +462,31 @@ func (r *Runner) forEachPair(gpuIDs, pimIDs []string, fn func(g, p string) error
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case <-ctx.Done():
+				errc <- ctx.Err()
+				return
+			case sem <- struct{}{}:
+			}
 			defer func() { <-sem }()
 			errc <- fn(j.g, j.p)
 		}(j)
 	}
 	wg.Wait()
 	close(errc)
+	// Prefer a real run error over the bare cancellation it caused.
+	var ctxErr error
 	for err := range errc {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return err
 	}
-	return nil
+	return ctxErr
 }

@@ -1,0 +1,382 @@
+// Package faults is a deterministic, seed-driven fault-injection layer
+// for the simulated memory system. A Schedule describes the transient
+// fault processes to model — DRAM read retries / ECC-correction delays
+// (extra cycles added to a CAS), NoC link stalls (one virtual channel of
+// an injection link blocked for N cycles), and periodic whole-channel
+// throttling windows — and an Injector realizes them with independent
+// splitmix64 streams per injection site, so a given (seed, schedule)
+// always produces the bit-identical fault sequence regardless of host,
+// goroutine scheduling, or wall clock.
+//
+// The simulator holds the Injector behind a nil-safe handle, mirroring
+// the telemetry pattern: every query method is a no-op on a nil receiver,
+// so a run without a fault schedule executes the exact instruction
+// sequence it does today (pinned by TestZeroFaultScheduleBitIdentical).
+//
+// The package imports only the standard library and internal/telemetry,
+// so internal/config can embed a Schedule without an import cycle.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// Schedule describes a deterministic fault process. The zero value
+// disables all injection.
+type Schedule struct {
+	// Seed drives every fault stream; 0 lets the simulator substitute
+	// its own config seed, so faulty runs stay reproducible by default.
+	Seed int64 `json:"seed,omitempty"`
+
+	// DRAMRetryProb is the per-column-command probability of an ECC
+	// correction / read retry that adds DRAMRetryCycles DRAM cycles to
+	// the command's completion (and holds the bank through them).
+	DRAMRetryProb   float64 `json:"dram_retry_prob,omitempty"`
+	DRAMRetryCycles int     `json:"dram_retry_cycles,omitempty"`
+
+	// NoCStallProb is the per-link per-GPU-cycle probability that one
+	// virtual channel of an SM injection link stalls (sends nothing) for
+	// NoCStallCycles cycles. Under VC1 the whole link stalls.
+	NoCStallProb   float64 `json:"noc_stall_prob,omitempty"`
+	NoCStallCycles int     `json:"noc_stall_cycles,omitempty"`
+
+	// ThrottlePeriod/ThrottleWindow define periodic whole-channel
+	// throttling (e.g. thermal or refresh-management windows): every
+	// ThrottlePeriod DRAM cycles each channel issues no new commands for
+	// ThrottleWindow cycles, at a seed-derived per-channel phase so the
+	// channels do not throttle in lockstep. Both must be positive to
+	// enable; in-flight requests still complete during a window.
+	ThrottlePeriod uint64 `json:"throttle_period,omitempty"`
+	ThrottleWindow uint64 `json:"throttle_window,omitempty"`
+}
+
+// Active reports whether the schedule injects anything at all.
+func (s Schedule) Active() bool {
+	return s.DRAMRetryProb > 0 || s.NoCStallProb > 0 ||
+		(s.ThrottlePeriod > 0 && s.ThrottleWindow > 0)
+}
+
+// Validate checks the schedule's internal consistency.
+func (s Schedule) Validate() error {
+	switch {
+	case s.DRAMRetryProb < 0 || s.DRAMRetryProb > 1:
+		return fmt.Errorf("faults: DRAM retry probability must be in [0,1], got %g", s.DRAMRetryProb)
+	case s.DRAMRetryProb > 0 && s.DRAMRetryCycles <= 0:
+		return fmt.Errorf("faults: DRAM retry needs positive extra cycles, got %d", s.DRAMRetryCycles)
+	case s.NoCStallProb < 0 || s.NoCStallProb > 1:
+		return fmt.Errorf("faults: NoC stall probability must be in [0,1], got %g", s.NoCStallProb)
+	case s.NoCStallProb > 0 && s.NoCStallCycles <= 0:
+		return fmt.Errorf("faults: NoC stall needs positive duration, got %d", s.NoCStallCycles)
+	case s.ThrottleWindow > 0 && s.ThrottlePeriod == 0:
+		return fmt.Errorf("faults: throttle window without a period")
+	case s.ThrottlePeriod > 0 && s.ThrottleWindow >= s.ThrottlePeriod:
+		return fmt.Errorf("faults: throttle window %d must be below the period %d", s.ThrottleWindow, s.ThrottlePeriod)
+	}
+	return nil
+}
+
+// String renders the schedule in the ParseSchedule format.
+func (s Schedule) String() string {
+	if !s.Active() && s.Seed == 0 {
+		return ""
+	}
+	var parts []string
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	if s.DRAMRetryProb > 0 {
+		parts = append(parts, fmt.Sprintf("dram=%g:%d", s.DRAMRetryProb, s.DRAMRetryCycles))
+	}
+	if s.NoCStallProb > 0 {
+		parts = append(parts, fmt.Sprintf("noc=%g:%d", s.NoCStallProb, s.NoCStallCycles))
+	}
+	if s.ThrottlePeriod > 0 && s.ThrottleWindow > 0 {
+		parts = append(parts, fmt.Sprintf("throttle=%d:%d", s.ThrottlePeriod, s.ThrottleWindow))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSchedule parses the CLI fault-schedule syntax:
+//
+//	seed=7,dram=0.002:12,noc=0.001:24,throttle=40000:2000
+//
+// where dram=<prob>:<extra cycles>, noc=<prob>:<stall cycles> and
+// throttle=<period>:<window> (DRAM cycles). Every clause is optional; an
+// empty string yields the zero (inactive) schedule.
+func ParseSchedule(spec string) (Schedule, error) {
+	var s Schedule
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return s, nil
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(clause), "=")
+		if !ok {
+			return Schedule{}, fmt.Errorf("faults: clause %q is not key=value", clause)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("faults: seed %q: %v", val, err)
+			}
+			s.Seed = n
+		case "dram":
+			prob, cycles, err := parseRate(val)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("faults: dram %q: %v", val, err)
+			}
+			s.DRAMRetryProb, s.DRAMRetryCycles = prob, cycles
+		case "noc":
+			prob, cycles, err := parseRate(val)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("faults: noc %q: %v", val, err)
+			}
+			s.NoCStallProb, s.NoCStallCycles = prob, cycles
+		case "throttle":
+			p, w, ok := strings.Cut(val, ":")
+			if !ok {
+				return Schedule{}, fmt.Errorf("faults: throttle %q wants period:window", val)
+			}
+			period, err := strconv.ParseUint(p, 10, 64)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("faults: throttle period %q: %v", p, err)
+			}
+			window, err := strconv.ParseUint(w, 10, 64)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("faults: throttle window %q: %v", w, err)
+			}
+			s.ThrottlePeriod, s.ThrottleWindow = period, window
+		default:
+			return Schedule{}, fmt.Errorf("faults: unknown clause %q (want seed/dram/noc/throttle)", key)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+func parseRate(val string) (prob float64, cycles int, err error) {
+	p, c, ok := strings.Cut(val, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want probability:cycles")
+	}
+	if prob, err = strconv.ParseFloat(p, 64); err != nil {
+		return 0, 0, err
+	}
+	if cycles, err = strconv.Atoi(c); err != nil {
+		return 0, 0, err
+	}
+	return prob, cycles, nil
+}
+
+// Counts are the cumulative injected-fault totals of one run.
+type Counts struct {
+	// DRAMRetries counts column commands hit by an ECC retry;
+	// DRAMRetryCycles the total extra DRAM cycles they added.
+	DRAMRetries     uint64 `json:"dram_retries"`
+	DRAMRetryCycles uint64 `json:"dram_retry_cycles"`
+	// NoCLinkStalls counts stall events; NoCLinkStallCycles the total
+	// link-cycles lost to them.
+	NoCLinkStalls      uint64 `json:"noc_link_stalls"`
+	NoCLinkStallCycles uint64 `json:"noc_link_stall_cycles"`
+	// ThrottledCycles counts channel-cycles spent inside throttle
+	// windows.
+	ThrottledCycles uint64 `json:"throttled_cycles"`
+}
+
+// splitmix64 is the per-site PRNG: tiny state, excellent diffusion, and
+// a counter-free API (the state itself is the stream position).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit maps a draw to [0,1).
+func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+type chanFaults struct {
+	casRNG         uint64
+	throttlePhase  uint64
+	throttledCount uint64
+}
+
+type linkFaults struct {
+	rng       uint64
+	stallLeft int
+	stalledVC int8
+}
+
+// Injector realizes a Schedule over a machine shape. All query methods
+// are nil-receiver safe (no faults); a non-nil Injector belongs to one
+// simulation and must only be queried from its goroutine.
+type Injector struct {
+	sched  Schedule
+	chans  []chanFaults
+	links  []linkFaults
+	counts Counts
+
+	// Telemetry handles; nil when telemetry is off (their methods no-op
+	// on nil receivers).
+	tmECCRetries     []*telemetry.Counter
+	tmECCRetryCycles []*telemetry.Counter
+	tmThrottled      []*telemetry.Counter
+	tmLinkStalls     *telemetry.Counter
+	tmLinkStallCyc   *telemetry.Counter
+}
+
+// NewInjector builds an injector for channels memory channels and links
+// SM injection links. It returns nil when the schedule is inactive, so
+// callers can wire the result unconditionally.
+func NewInjector(s Schedule, channels, links int) *Injector {
+	if !s.Active() {
+		return nil
+	}
+	in := &Injector{
+		sched: s,
+		chans: make([]chanFaults, channels),
+		links: make([]linkFaults, links),
+	}
+	seed := uint64(s.Seed)
+	for ch := range in.chans {
+		// One independent stream per channel, plus a seed-derived
+		// throttle phase spreading windows across channels.
+		st := seed ^ (0xD1B54A32D192ED03 * uint64(ch+1))
+		in.chans[ch].casRNG = splitmix64(&st)
+		if s.ThrottlePeriod > 0 {
+			in.chans[ch].throttlePhase = splitmix64(&st) % s.ThrottlePeriod
+		}
+	}
+	for l := range in.links {
+		st := seed ^ (0x9E6C63D0876A9A47 * uint64(l+1))
+		in.links[l].rng = splitmix64(&st)
+		in.links[l].stalledVC = -1
+	}
+	return in
+}
+
+// Schedule returns the realized schedule (zero for a nil injector).
+func (in *Injector) Schedule() Schedule {
+	if in == nil {
+		return Schedule{}
+	}
+	return in.sched
+}
+
+// SetTelemetry wires the per-fault counters into a run's collector
+// (nil-safe on both sides).
+func (in *Injector) SetTelemetry(col *telemetry.Collector) {
+	if in == nil {
+		return
+	}
+	if col == nil {
+		in.tmECCRetries, in.tmECCRetryCycles, in.tmThrottled = nil, nil, nil
+		in.tmLinkStalls, in.tmLinkStallCyc = nil, nil
+		return
+	}
+	in.tmECCRetries = make([]*telemetry.Counter, len(in.chans))
+	in.tmECCRetryCycles = make([]*telemetry.Counter, len(in.chans))
+	in.tmThrottled = make([]*telemetry.Counter, len(in.chans))
+	for ch := range in.chans {
+		cm := col.Channel(ch)
+		if cm == nil {
+			continue
+		}
+		in.tmECCRetries[ch] = cm.ECCRetries
+		in.tmECCRetryCycles[ch] = cm.ECCRetryCycles
+		in.tmThrottled[ch] = cm.ThrottledCycles
+	}
+	if nm := col.NoC(); nm != nil {
+		in.tmLinkStalls = nm.LinkStalls
+		in.tmLinkStallCyc = nm.LinkStallCycles
+	}
+}
+
+// CASDelay returns the extra DRAM cycles an ECC retry adds to the column
+// command a channel ch controller just issued (0 almost always). The
+// caller must invoke it exactly once per column command so the stream
+// stays aligned with the command sequence.
+func (in *Injector) CASDelay(ch int) uint64 {
+	if in == nil || in.sched.DRAMRetryProb <= 0 {
+		return 0
+	}
+	cf := &in.chans[ch]
+	if unit(splitmix64(&cf.casRNG)) >= in.sched.DRAMRetryProb {
+		return 0
+	}
+	extra := uint64(in.sched.DRAMRetryCycles)
+	in.counts.DRAMRetries++
+	in.counts.DRAMRetryCycles += extra
+	if in.tmECCRetries != nil {
+		in.tmECCRetries[ch].Inc()
+		in.tmECCRetryCycles[ch].Add(extra)
+	}
+	return extra
+}
+
+// ThrottledTick reports whether channel ch sits inside a throttle window
+// at DRAM cycle now, counting the throttled cycle. Pure arithmetic on
+// (now, phase) — no stream state — so callers may gate early returns on
+// it freely.
+func (in *Injector) ThrottledTick(ch int, now uint64) bool {
+	if in == nil || in.sched.ThrottlePeriod == 0 || in.sched.ThrottleWindow == 0 {
+		return false
+	}
+	cf := &in.chans[ch]
+	if (now+cf.throttlePhase)%in.sched.ThrottlePeriod >= in.sched.ThrottleWindow {
+		return false
+	}
+	in.counts.ThrottledCycles++
+	if in.tmThrottled != nil {
+		in.tmThrottled[ch].Inc()
+	}
+	return true
+}
+
+// LinkTick advances link l by one GPU cycle and returns the virtual
+// channel stalled this cycle (-1 for none). The caller must invoke it
+// exactly once per link per cycle. vcs is the number of virtual channels
+// on the link (1 under VC1 — the whole link stalls — or 2 under VC2).
+func (in *Injector) LinkTick(l, vcs int) int8 {
+	if in == nil || in.sched.NoCStallProb <= 0 {
+		return -1
+	}
+	lf := &in.links[l]
+	if lf.stallLeft > 0 {
+		lf.stallLeft--
+		in.counts.NoCLinkStallCycles++
+		in.tmLinkStallCyc.Inc()
+		return lf.stalledVC
+	}
+	draw := splitmix64(&lf.rng)
+	if unit(draw) >= in.sched.NoCStallProb {
+		lf.stalledVC = -1
+		return -1
+	}
+	lf.stallLeft = in.sched.NoCStallCycles - 1
+	lf.stalledVC = 0
+	if vcs > 1 {
+		lf.stalledVC = int8((draw >> 60) % uint64(vcs))
+	}
+	in.counts.NoCLinkStalls++
+	in.counts.NoCLinkStallCycles++
+	in.tmLinkStalls.Inc()
+	in.tmLinkStallCyc.Inc()
+	return lf.stalledVC
+}
+
+// Counts returns a snapshot of the cumulative fault totals.
+func (in *Injector) Counts() Counts {
+	if in == nil {
+		return Counts{}
+	}
+	return in.counts
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/dram"
+	"repro/internal/faults"
 	"repro/internal/pim"
 	"repro/internal/request"
 	"repro/internal/sched"
@@ -62,6 +63,9 @@ type Controller struct {
 	tmDrain     *telemetry.Counter
 	tmDrainHist *telemetry.Histogram
 
+	// Fault injector handle; nil (the default) means no injection.
+	flt *faults.Injector
+
 	// Scratch buffers for the FR-FCFS engine, reused across cycles.
 	candOldest []*request.Request
 	candHit    []*request.Request
@@ -106,6 +110,13 @@ func (c *Controller) SetTelemetry(tm *telemetry.ChannelMetrics) {
 	c.tmDrain = tm.DrainCycles
 	c.tmDrainHist = tm.DrainLatency
 	c.ch.SetTelemetry(tm)
+}
+
+// SetFaults attaches the run's fault injector (nil disables injection)
+// and forwards it to the DRAM timing model for CAS retries.
+func (c *Controller) SetFaults(inj *faults.Injector) {
+	c.flt = inj
+	c.ch.SetFaults(inj, c.channelID)
 }
 
 // Trace returns the installed recorder, if any.
@@ -235,6 +246,11 @@ func (c *Controller) Tick(now uint64) {
 		c.tmPIMMode.Inc()
 	}
 	c.completeInflight(now)
+	if c.flt != nil && c.flt.ThrottledTick(c.channelID, now) {
+		// Throttle window: in-flight requests drained above, but no
+		// refresh handling, arbitration, or new command issue.
+		return
+	}
 	if c.ch.RefreshDue(now) {
 		// All-bank refresh outranks mode arbitration: stall new issue,
 		// drain in-flight requests, close every bank and refresh.

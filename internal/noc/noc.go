@@ -18,6 +18,7 @@ package noc
 
 import (
 	"repro/internal/config"
+	"repro/internal/faults"
 	"repro/internal/request"
 	"repro/internal/telemetry"
 )
@@ -154,6 +155,12 @@ type Network struct {
 	// receivers).
 	tmInjected *telemetry.Counter
 	tmRejected *telemetry.Counter
+
+	// Fault injector handle plus the per-cycle stalled-VC scratch it
+	// fills; flt nil (the default) means no injection and stallVC stays
+	// nil, keeping Tick bit-identical to a fault-free run.
+	flt     *faults.Injector
+	stallVC []int8
 }
 
 // New builds the network for the given configuration.
@@ -209,6 +216,17 @@ func (n *Network) SetTelemetry(tm *telemetry.NoCMetrics) {
 	n.tmRejected = tm.Rejected
 }
 
+// SetFaults attaches the run's fault injector (nil disables link-stall
+// injection).
+func (n *Network) SetFaults(inj *faults.Injector) {
+	n.flt = inj
+	if inj == nil {
+		n.stallVC = nil
+		return
+	}
+	n.stallVC = make([]int8, len(n.inputs))
+}
+
 // Output returns channel ch's interconnect->L2 queue, from which the L2
 // slice (MEM VC) and the PIM forwarding path drain requests.
 func (n *Network) Output(ch int) *VCQueue { return n.outputs[ch] }
@@ -223,6 +241,18 @@ func (n *Network) InputLen(sm int) int { return n.inputs[sm].Len() }
 func (n *Network) Tick() {
 	for i := range n.usedThis {
 		n.usedThis[i] = false
+	}
+	if n.flt != nil {
+		// Advance every link's fault stream exactly once per cycle (even
+		// idle links) so the stall sequence depends only on the schedule,
+		// never on traffic.
+		vcs := 1
+		if n.cfg.NoC.Mode == config.VC2 {
+			vcs = 2
+		}
+		for i := range n.stallVC {
+			n.stallVC[i] = n.flt.LinkTick(i, vcs)
+		}
 	}
 	numIn := len(n.inputs)
 	for out, oq := range n.outputs {
@@ -278,6 +308,9 @@ func (n *Network) pickVC(iq *VCQueue, in, out int, oq *VCQueue) (VCID, bool) {
 	for i, vc := range order {
 		if i == 1 && vc == order[0] {
 			break // VC1: single channel already tried
+		}
+		if n.stallVC != nil && n.stallVC[in] == int8(vc) {
+			continue // transient link fault blocks this VC this cycle
 		}
 		head := iq.Peek(vc)
 		if head == nil || head.Channel != out {

@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/addrmap"
 	"repro/internal/cache"
 	"repro/internal/config"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/memctrl"
 	"repro/internal/noc"
@@ -96,6 +98,13 @@ type Result struct {
 	// Telemetry carries the run's metrics registry and sample ring when
 	// telemetry was enabled (nil otherwise).
 	Telemetry *telemetry.Collector
+	// Starved details a starvation/deadlock abort (nil otherwise); when
+	// set, Aborted is true. The run still returns a Result so fairness-0
+	// data points stay analyzable.
+	Starved *ErrStarved
+	// Faults carries the injected-fault totals when the config had an
+	// active fault schedule (nil otherwise).
+	Faults *faults.Counts
 }
 
 // System is one configured simulation instance. Build with New, run with
@@ -133,6 +142,10 @@ type System struct {
 
 	tel      *telemetry.Collector
 	telEvery uint64
+
+	// flt is the fault injector; nil (no schedule) keeps the run
+	// bit-identical to a fault-free build.
+	flt *faults.Injector
 }
 
 // Sample is one point of the optional execution timeline (see
@@ -195,12 +208,21 @@ func (s *System) EnableTelemetry(interval uint64, ringCap int) *telemetry.Collec
 		mc.SetTelemetry(s.tel.Channel(ch))
 	}
 	s.network.SetTelemetry(s.tel.NoC())
+	s.flt.SetTelemetry(s.tel)
 	return s.tel
 }
 
 // takeTelemetrySample snapshots per-channel and per-app state into the
 // collector's ring.
 func (s *System) takeTelemetrySample() {
+	s.tel.Sampler.Record(s.buildTelemetrySnapshot())
+}
+
+// buildTelemetrySnapshot assembles one time-series point. It is nil-tel
+// safe — with telemetry disabled the cumulative metric fields stay zero
+// but queue state, mode, and stats-backed fields are still filled — so
+// ErrStarved can embed a final snapshot from any run.
+func (s *System) buildTelemetrySnapshot() telemetry.Snapshot {
 	snap := telemetry.Snapshot{
 		GPUCycle:  s.gpuCycle,
 		DRAMCycle: s.dramCycle,
@@ -209,22 +231,24 @@ func (s *System) takeTelemetrySample() {
 	}
 	for ch, mc := range s.mcs {
 		st := &s.st.Channels[ch]
-		cm := s.tel.Channel(ch)
 		m, p := mc.QueueLens()
-		snap.Channels[ch] = telemetry.ChannelSample{
+		cs := telemetry.ChannelSample{
 			MemQ:             m,
 			PIMQ:             p,
 			Mode:             mc.Mode().String(),
 			Switches:         st.Switches,
-			MemModeCycles:    cm.MemModeCycles.Value(),
-			PIMModeCycles:    cm.PIMModeCycles.Value(),
-			DrainCycles:      cm.DrainCycles.Value(),
 			RBHR:             st.RBHR(),
 			BLP:              st.BLP(),
 			MemQOccupancySum: st.MemQOccupancySum,
 			PIMQOccupancySum: st.PIMQOccupancySum,
 			SampledCycles:    st.SampledCycles,
 		}
+		if cm := s.tel.Channel(ch); cm != nil {
+			cs.MemModeCycles = cm.MemModeCycles.Value()
+			cs.PIMModeCycles = cm.PIMModeCycles.Value()
+			cs.DrainCycles = cm.DrainCycles.Value()
+		}
+		snap.Channels[ch] = cs
 	}
 	for app, k := range s.kernels {
 		// Completed comes from the stats counter, which is monotonic
@@ -236,7 +260,7 @@ func (s *System) takeTelemetrySample() {
 			StallCycles: k.StallCycles,
 		}
 	}
-	s.tel.Sampler.Record(snap)
+	return snap
 }
 
 // SetRunOnce disables kernel relaunching: each kernel runs exactly once
@@ -300,6 +324,16 @@ func New(cfg config.Config, policy sched.PolicyFactory, descs []KernelDesc) (*Sy
 		}
 		s.kernels = append(s.kernels, k)
 		s.isPIM = append(s.isPIM, d.PIM != nil)
+	}
+	if fs := cfg.Faults; fs.Active() {
+		if fs.Seed == 0 {
+			fs.Seed = cfg.Seed // faulty runs stay reproducible by default
+		}
+		s.flt = faults.NewInjector(fs, cfg.Memory.Channels, cfg.GPU.NumSMs)
+		for _, mc := range s.mcs {
+			mc.SetFaults(s.flt)
+		}
+		s.network.SetFaults(s.flt)
 	}
 	if telemetry.Enabled() {
 		s.EnableTelemetry(0, 0)
@@ -613,12 +647,21 @@ func (s *System) step() {
 	}
 }
 
-// Run executes the co-execution protocol of Sec. III-B: every kernel is
-// launched at cycle 0 and re-launched whenever it finishes while any
-// other kernel is still on its first run; the simulation ends when every
-// kernel has completed at least one run (or aborts on the cycle limit /
-// total lack of progress).
+// Run executes the co-execution protocol with no cancellation; see
+// RunContext.
 func (s *System) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the co-execution protocol of Sec. III-B: every
+// kernel is launched at cycle 0 and re-launched whenever it finishes
+// while any other kernel is still on its first run; the simulation ends
+// when every kernel has completed at least one run (or aborts on the
+// cycle limit / total lack of progress). The context is polled every few
+// thousand cycles; on cancellation or deadline expiry the run stops with
+// an *ErrInterrupted carrying the position and queue state (Unwrap
+// yields the context's error).
+func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	if s.ran {
 		return nil, fmt.Errorf("sim: System is single-use; build a new one")
 	}
@@ -642,6 +685,7 @@ func (s *System) Run() (*Result, error) {
 	lastProgress := uint64(0)
 	firstRunCompleted := make([]int, len(s.kernels))
 	aborted := false
+	var starved *ErrStarved
 
 	for {
 		if s.allFinished() {
@@ -653,6 +697,16 @@ func (s *System) Run() (*Result, error) {
 		}
 		s.step()
 		if s.gpuCycle%checkEvery == 0 {
+			// Cancellation piggybacks on the progress-check cadence, so
+			// the hot loop pays one modulo it already paid.
+			if err := ctx.Err(); err != nil {
+				return nil, &ErrInterrupted{
+					GPUCycle:  s.gpuCycle,
+					DRAMCycle: s.dramCycle,
+					Queues:    s.queueSnapshots(),
+					Err:       err,
+				}
+			}
 			progressed := false
 			for i, k := range s.kernels {
 				if k.Finished() {
@@ -667,6 +721,13 @@ func (s *System) Run() (*Result, error) {
 				lastProgress = s.gpuCycle
 			} else if s.gpuCycle-lastProgress > progressWindow {
 				aborted = true
+				starved = &ErrStarved{
+					GPUCycle:     s.gpuCycle,
+					LastProgress: lastProgress,
+					Window:       progressWindow,
+					Queues:       s.queueSnapshots(),
+					Snapshot:     s.buildTelemetrySnapshot(),
+				}
 				break
 			}
 		}
@@ -712,6 +773,11 @@ func (s *System) Run() (*Result, error) {
 		Samples:    s.samples,
 		Manifest:   manifest,
 		Telemetry:  s.tel,
+		Starved:    starved,
+	}
+	if s.flt != nil {
+		c := s.flt.Counts()
+		res.Faults = &c
 	}
 	for app, k := range s.kernels {
 		kr := KernelResult{

@@ -244,12 +244,19 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(logSum / float64(n))
 }
 
-// Quartiles returns the min, 25th, 50th, 75th percentile and max of xs,
-// matching the box-and-whisker summaries of Fig. 4. It panics on an empty
-// slice.
-func Quartiles(xs []float64) (min, q1, med, q3, max float64) {
+// Quartiles is a five-number summary: the min, 25th, 50th, 75th
+// percentile and max of a sample, matching the box-and-whisker summaries
+// of Fig. 4.
+type Quartiles struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// QuartilesOf computes the five-number summary of xs. The second return
+// is false for an empty sample (the Quartiles are then all zero), so
+// callers decide how to render missing data instead of panicking.
+func QuartilesOf(xs []float64) (Quartiles, bool) {
 	if len(xs) == 0 {
-		panic("stats: Quartiles of empty slice")
+		return Quartiles{}, false
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -265,7 +272,13 @@ func Quartiles(xs []float64) (min, q1, med, q3, max float64) {
 		}
 		return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 	}
-	return sorted[0], at(0.25), at(0.5), at(0.75), sorted[len(sorted)-1]
+	return Quartiles{
+		Min:    sorted[0],
+		Q1:     at(0.25),
+		Median: at(0.5),
+		Q3:     at(0.75),
+		Max:    sorted[len(sorted)-1],
+	}, true
 }
 
 // Summary renders the headline counters for debugging.

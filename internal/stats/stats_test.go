@@ -72,32 +72,36 @@ func TestMeanAndGeoMean(t *testing.T) {
 }
 
 func TestQuartiles(t *testing.T) {
-	min, q1, med, q3, max := Quartiles([]float64{1, 2, 3, 4, 5})
-	if min != 1 || max != 5 || med != 3 || q1 != 2 || q3 != 4 {
-		t.Errorf("Quartiles = %v %v %v %v %v", min, q1, med, q3, max)
+	q, ok := QuartilesOf([]float64{1, 2, 3, 4, 5})
+	if !ok {
+		t.Fatal("QuartilesOf reported an empty sample")
+	}
+	if q.Min != 1 || q.Max != 5 || q.Median != 3 || q.Q1 != 2 || q.Q3 != 4 {
+		t.Errorf("QuartilesOf = %+v", q)
 	}
 	// Single element: everything collapses.
-	min, q1, med, q3, max = Quartiles([]float64{7})
-	if min != 7 || q1 != 7 || med != 7 || q3 != 7 || max != 7 {
-		t.Error("single-element quartiles should all equal the element")
+	q, ok = QuartilesOf([]float64{7})
+	if !ok || q.Min != 7 || q.Q1 != 7 || q.Median != 7 || q.Q3 != 7 || q.Max != 7 {
+		t.Errorf("single-element quartiles should all equal the element, got %+v", q)
 	}
 }
 
 func TestQuartilesDoesNotMutateInput(t *testing.T) {
 	in := []float64{3, 1, 2}
-	Quartiles(in)
+	QuartilesOf(in)
 	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
 		t.Errorf("input mutated: %v", in)
 	}
 }
 
-func TestQuartilesPanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Quartiles(nil) did not panic")
-		}
-	}()
-	Quartiles(nil)
+func TestQuartilesEmptyIsDefined(t *testing.T) {
+	q, ok := QuartilesOf(nil)
+	if ok {
+		t.Error("QuartilesOf(nil) reported ok")
+	}
+	if q != (Quartiles{}) {
+		t.Errorf("empty sample should yield zero Quartiles, got %+v", q)
+	}
 }
 
 func TestChannelDerivedMetrics(t *testing.T) {

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path through a temp file in the same
+// directory followed by os.Rename, so a killed process never leaves a
+// truncated file behind — readers see either the old content or the
+// complete new content.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+// WriteJSONLFile renders a full telemetry capture (manifest, metrics,
+// time series) and writes it atomically to path.
+func WriteJSONLFile(path string, m *Manifest, reg *Registry, samples []Snapshot) error {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, m, reg, samples); err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, buf.Bytes(), 0o644)
+}

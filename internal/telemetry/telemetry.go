@@ -86,6 +86,13 @@ type ChannelMetrics struct {
 	Precharges    *Counter
 	Refreshes     *Counter
 	DrainLatency  *Histogram
+
+	// Fault-injection instruments (internal/faults): ECC retry events and
+	// the extra DRAM cycles they cost, plus cycles lost to throttle
+	// windows. Zero unless a fault schedule is active.
+	ECCRetries      *Counter
+	ECCRetryCycles  *Counter
+	ThrottledCycles *Counter
 }
 
 func newChannelMetrics(r *Registry, ch int) *ChannelMetrics {
@@ -97,6 +104,10 @@ func newChannelMetrics(r *Registry, ch int) *ChannelMetrics {
 		Precharges:    r.Counter(Name("mc", ch, "precharges")),
 		Refreshes:     r.Counter(Name("mc", ch, "refreshes")),
 		DrainLatency:  r.Histogram(Name("mc", ch, "drain_latency"), DrainBuckets()),
+
+		ECCRetries:      r.Counter(Name("mc", ch, "ecc_retries")),
+		ECCRetryCycles:  r.Counter(Name("mc", ch, "ecc_retry_cycles")),
+		ThrottledCycles: r.Counter(Name("mc", ch, "throttled_cycles")),
 	}
 }
 
@@ -106,12 +117,20 @@ func newChannelMetrics(r *Registry, ch int) *ChannelMetrics {
 type NoCMetrics struct {
 	Injected *Counter
 	Rejected *Counter
+
+	// Fault-injection instruments: link-stall events and the link-cycles
+	// they blocked. Zero unless a fault schedule is active.
+	LinkStalls      *Counter
+	LinkStallCycles *Counter
 }
 
 func newNoCMetrics(r *Registry) *NoCMetrics {
 	return &NoCMetrics{
 		Injected: r.Counter("noc/injected"),
 		Rejected: r.Counter("noc/rejected"),
+
+		LinkStalls:      r.Counter("noc/link_stalls"),
+		LinkStallCycles: r.Counter("noc/link_stall_cycles"),
 	}
 }
 

@@ -268,7 +268,7 @@ func TestCollectorChannels(t *testing.T) {
 	for _, p := range points {
 		kinds[p.Kind]++
 	}
-	wantCounters := 4*6 + 2 // 6 per-channel counters + 2 noc
+	wantCounters := 4*9 + 4 // 9 per-channel counters + 4 noc
 	if kinds["counter"] != wantCounters || kinds["histogram"] != 4 {
 		t.Fatalf("export kinds = %v", kinds)
 	}

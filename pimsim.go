@@ -23,11 +23,13 @@ package pimsim
 
 import (
 	"io"
+	"os"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/llm"
 	"repro/internal/report"
 	"repro/internal/request"
@@ -341,3 +343,58 @@ func FairnessIndex(s1, s2 float64) float64 { return stats.FairnessIndex(s1, s2) 
 
 // SystemThroughput is the sum of kernel speedups.
 func SystemThroughput(speedups ...float64) float64 { return stats.SystemThroughput(speedups...) }
+
+// Fault injection: FaultSchedule is a deterministic, seed-driven schedule
+// of DRAM ECC/CAS retries, NoC link stalls and whole-channel throttle
+// windows (set Config.Faults; the zero value disables injection).
+// FaultCounts tallies injected events; Result.Faults and Pair.Faults
+// carry it when a schedule was active.
+type (
+	FaultSchedule = faults.Schedule
+	FaultCounts   = faults.Counts
+)
+
+// ParseFaultSchedule parses the CLI fault-schedule syntax, e.g.
+// "seed=7,dram=0.002:12,noc=0.001:24,throttle=40000:2000".
+func ParseFaultSchedule(s string) (FaultSchedule, error) { return faults.ParseSchedule(s) }
+
+// Resilience: ErrStarved is the typed no-forward-progress abort carried
+// on Result.Starved; ErrInterrupted is the typed cancellation/deadline
+// interrupt returned by System.RunContext; QueueSnapshot is the
+// per-channel controller state both embed.
+type (
+	ErrStarved     = sim.ErrStarved
+	ErrInterrupted = sim.ErrInterrupted
+	QueueSnapshot  = sim.QueueSnapshot
+)
+
+// RunError is the structured failure of one harness run (panic, per-run
+// timeout, cancellation), carrying a diagnostic bundle; it marshals to
+// JSON for campaign error files.
+type RunError = experiments.RunError
+
+// Journal checkpoints a campaign's finished and failed pairs so an
+// interrupted sweep resumes where it left off (attach to Runner.Journal).
+type Journal = experiments.Journal
+
+// OpenJournal loads (or initializes) a campaign journal, discarding
+// entries recorded under a different config hash or scale.
+func OpenJournal(path string, cfg Config, scale float64) (*Journal, error) {
+	return experiments.OpenJournal(path, cfg, scale)
+}
+
+// PairKey is the canonical journal key of one competitive combination.
+func PairKey(gpuID, pimID, policy string, mode VCMode) string {
+	return experiments.PairKey(gpuID, pimID, policy, mode)
+}
+
+// WriteFileAtomic writes data to path via a temp file and rename, so a
+// kill mid-write never leaves a truncated file.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return telemetry.WriteFileAtomic(path, data, perm)
+}
+
+// WriteTelemetryFile atomically writes a telemetry capture as JSONL.
+func WriteTelemetryFile(path string, m *TelemetryManifest, reg *TelemetryRegistry, samples []TelemetrySnapshot) error {
+	return telemetry.WriteJSONLFile(path, m, reg, samples)
+}
