@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet fmt-check test test-short test-race ci golden-fig8 faults-smoke bench figures examples clean
+.PHONY: all build vet lint fmt-check vulncheck test test-short test-race test-simdebug fuzz-short ci golden-fig8 faults-smoke bench figures examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	go build ./...
@@ -10,9 +10,24 @@ build:
 vet:
 	go vet ./...
 
+# Static-analysis suite: the custom pimlint analyzers (determinism and
+# nil-safe-handle invariants, see docs/DETERMINISM.md) plus go vet and a
+# gofmt cleanliness check. Any finding fails the target.
+lint: fmt-check vet
+	go run ./cmd/pimlint ./...
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Known-vulnerability scan. govulncheck needs a vulnerability database,
+# so this runs only where the tool is installed (CI installs it); the
+# guard keeps offline development machines green.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed; skipping"; fi
 
 test:
 	go test ./...
@@ -23,10 +38,21 @@ test-short:
 test-race:
 	go test -race -short ./...
 
-# Mirror of .github/workflows/ci.yml: build + vet + gofmt, full tests,
-# race-shortened tests, the golden-figure smoke check, and the
-# fault-injection campaign smoke.
-ci: fmt-check build vet test test-race golden-fig8 faults-smoke
+# Runtime assertions (internal/invariant) compile in only under the
+# simdebug tag; this runs the deterministic core's tests with them hot.
+test-simdebug:
+	go test -tags simdebug ./internal/...
+
+# A few seconds of coverage-guided fuzzing on the address-map
+# round-trip invariants; regressions found here become corpus seeds.
+fuzz-short:
+	go test -run '^$$' -fuzz FuzzAddrMap -fuzztime 10s ./internal/addrmap/
+
+# Mirror of .github/workflows/ci.yml: lint (gofmt + vet + pimlint),
+# build, full tests, race-shortened tests, simdebug assertions, short
+# fuzzing, the golden-figure smoke check, and the fault-injection
+# campaign smoke.
+ci: lint build test test-race test-simdebug fuzz-short golden-fig8 faults-smoke
 
 # Regenerate Fig. 8 on the golden subset and compare within tolerances
 # (the simulator is deterministic; this flags unintended model drift).

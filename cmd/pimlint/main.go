@@ -1,0 +1,116 @@
+// Command pimlint is the repository's custom static-analysis suite: a
+// multichecker enforcing the simulator's determinism and nil-safe
+// handle invariants.
+//
+// Analyzers:
+//
+//	detmap     no range-over-map in deterministic packages
+//	detclock   no wall clock / global rand / env reads there either
+//	nilhandle  exported methods on registered handle types start with
+//	           a nil-receiver guard
+//	cyclesafe  cycle/tick counters are 64-bit and never narrowed
+//
+// Usage:
+//
+//	go run ./cmd/pimlint ./...            # standalone, from repo root
+//	go vet -vettool=$(which pimlint) ./...  # as a vet tool
+//
+// Configuration comes from pimlint.yaml at the repository root (see
+// tools/pimlint/lintcfg); compiled-in defaults match that file. Exit
+// status is 0 when clean, 1 when any analyzer reports a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+
+	"repro/tools/pimlint/analysis"
+	"repro/tools/pimlint/analyzers/cyclesafe"
+	"repro/tools/pimlint/analyzers/detclock"
+	"repro/tools/pimlint/analyzers/detmap"
+	"repro/tools/pimlint/analyzers/nilhandle"
+	"repro/tools/pimlint/driver"
+	"repro/tools/pimlint/lintcfg"
+)
+
+func analyzers(cfg *lintcfg.Config) []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detmap.New(cfg),
+		detclock.New(cfg),
+		nilhandle.New(cfg),
+		cyclesafe.New(cfg),
+	}
+}
+
+func main() {
+	// The vet protocol (-V=full / -flags / unit.cfg) must be answered
+	// before ordinary flag parsing. Unit configs resolve pimlint.yaml
+	// from the analyzed package's directory at analysis time, so the
+	// vet path loads per-unit config lazily inside the closure-built
+	// analyzers; standalone resolves once from the working directory.
+	if len(os.Args) == 2 {
+		dir, _ := os.Getwd()
+		cfg, err := lintcfg.Find(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimlint: %v\n", err)
+			os.Exit(1)
+		}
+		if driver.VetMain(os.Args[1:], analyzers(cfg)) {
+			return
+		}
+	}
+
+	configPath := flag.String("config", "", "path to pimlint.yaml (default: search upward from the working directory)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pimlint [-config pimlint.yaml] [packages]\n\n"+
+			"Runs the determinism and nil-safety analyzers over the named\n"+
+			"package patterns (default ./...). Also speaks the go vet\n"+
+			"-vettool protocol when handed a unit .cfg file.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var cfg *lintcfg.Config
+	var err error
+	if *configPath != "" {
+		data, rerr := os.ReadFile(*configPath)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "pimlint: %v\n", rerr)
+			os.Exit(1)
+		}
+		cfg, err = lintcfg.Parse(string(data))
+	} else {
+		dir, _ := os.Getwd()
+		cfg, err = lintcfg.Find(dir)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimlint: %v\n", err)
+		os.Exit(1)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := driver.Load(fset, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimlint: %v\n", err)
+		os.Exit(1)
+	}
+	findings, err := driver.Run(fset, pkgs, analyzers(cfg))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimlint: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "pimlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

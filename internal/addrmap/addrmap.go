@@ -190,6 +190,9 @@ func NewIPoly(g Geometry) *IPoly { return &IPoly{g: g} }
 func (m *IPoly) Decode(addr uint64) Coord {
 	g := m.g
 	base := (&Interleaved{g: g}).Decode(addr)
+	if g.channelBits == 0 {
+		return base // single channel: nothing to fold (and a 0-bit shift would not terminate)
+	}
 	// XOR-fold everything above the offset into channelBits bits.
 	a := addr >> g.offsetBits
 	var h uint64

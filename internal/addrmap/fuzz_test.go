@@ -1,0 +1,70 @@
+package addrmap
+
+import "testing"
+
+// fuzzGeometries are the power-of-two shapes the fuzz target exercises:
+// the paper's Table I machine, a minimal corner, and an asymmetric mix
+// that forces the column/bank split fields apart.
+var fuzzGeometries = []struct {
+	name                                        string
+	channels, banks, rows, columns, accessBytes int
+}{
+	{"table1", 8, 16, 16384, 64, 32},
+	{"tiny", 1, 2, 4, 4, 8},
+	{"asymmetric", 4, 8, 1024, 128, 64},
+}
+
+// FuzzAddrMap feeds arbitrary addresses through both mappers and checks
+// the invariants any address map must satisfy:
+//
+//   - Decode always lands inside the geometry (channel/bank/row/column
+//     ranges);
+//   - for the regular map, Encode(Decode(addr)) round-trips the
+//     in-range part of the address (addr reduced modulo TotalBytes and
+//     aligned to AccessBytes);
+//   - for both mappers, Decode(Encode(c)) round-trips the decoded
+//     coordinate — each mapper is a bijection on its coordinate space.
+//     (IPoly's channel hash folds address bits beyond the capacity, so
+//     full address round-trip is not part of its contract.)
+//
+// Its first run found a real bug: IPoly.Decode spun forever on any
+// nonzero address when channels == 1 (a 0-bit fold shift).
+func FuzzAddrMap(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(uint64(0xFFFF_FFFF_FFFF_FFFF))
+	f.Add(uint64(512 << 20))
+	f.Add(uint64(0xDEAD_BEEF_CAFE))
+
+	f.Fuzz(func(t *testing.T, addr uint64) {
+		for _, gg := range fuzzGeometries {
+			g, err := NewGeometry(gg.channels, gg.banks, gg.rows, gg.columns, gg.accessBytes)
+			if err != nil {
+				t.Fatalf("%s: %v", gg.name, err)
+			}
+			inRange := addr % g.TotalBytes() &^ (uint64(g.AccessBytes) - 1)
+			for _, m := range []Mapper{NewInterleaved(g), NewIPoly(g)} {
+				c := m.Decode(addr)
+				if c.Channel < 0 || c.Channel >= g.Channels {
+					t.Fatalf("%s/%T: Decode(%#x) channel %d out of [0,%d)", gg.name, m, addr, c.Channel, g.Channels)
+				}
+				if c.Bank < 0 || c.Bank >= g.Banks {
+					t.Fatalf("%s/%T: Decode(%#x) bank %d out of [0,%d)", gg.name, m, addr, c.Bank, g.Banks)
+				}
+				if uint64(c.Row) >= uint64(g.Rows) {
+					t.Fatalf("%s/%T: Decode(%#x) row %d out of [0,%d)", gg.name, m, addr, c.Row, g.Rows)
+				}
+				if uint64(c.Col) >= uint64(g.Columns) {
+					t.Fatalf("%s/%T: Decode(%#x) col %d out of [0,%d)", gg.name, m, addr, c.Col, g.Columns)
+				}
+				if c2 := m.Decode(m.Encode(c)); c2 != c {
+					t.Fatalf("%s/%T: coordinate round-trip %+v -> %+v via %#x", gg.name, m, c, c2, m.Encode(c))
+				}
+			}
+			il := NewInterleaved(g)
+			if got := il.Encode(il.Decode(addr)); got != inRange {
+				t.Fatalf("%s/Interleaved: Encode(Decode(%#x)) = %#x, want %#x", gg.name, addr, got, inRange)
+			}
+		}
+	})
+}

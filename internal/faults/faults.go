@@ -36,13 +36,13 @@ type Schedule struct {
 	// correction / read retry that adds DRAMRetryCycles DRAM cycles to
 	// the command's completion (and holds the bank through them).
 	DRAMRetryProb   float64 `json:"dram_retry_prob,omitempty"`
-	DRAMRetryCycles int     `json:"dram_retry_cycles,omitempty"`
+	DRAMRetryCycles int64   `json:"dram_retry_cycles,omitempty"`
 
 	// NoCStallProb is the per-link per-GPU-cycle probability that one
 	// virtual channel of an SM injection link stalls (sends nothing) for
 	// NoCStallCycles cycles. Under VC1 the whole link stalls.
 	NoCStallProb   float64 `json:"noc_stall_prob,omitempty"`
-	NoCStallCycles int     `json:"noc_stall_cycles,omitempty"`
+	NoCStallCycles int64   `json:"noc_stall_cycles,omitempty"`
 
 	// ThrottlePeriod/ThrottleWindow define periodic whole-channel
 	// throttling (e.g. thermal or refresh-management windows): every
@@ -161,7 +161,7 @@ func ParseSchedule(spec string) (Schedule, error) {
 	return s, nil
 }
 
-func parseRate(val string) (prob float64, cycles int, err error) {
+func parseRate(val string) (prob float64, cycles int64, err error) {
 	p, c, ok := strings.Cut(val, ":")
 	if !ok {
 		return 0, 0, fmt.Errorf("want probability:cycles")
@@ -169,7 +169,7 @@ func parseRate(val string) (prob float64, cycles int, err error) {
 	if prob, err = strconv.ParseFloat(p, 64); err != nil {
 		return 0, 0, err
 	}
-	if cycles, err = strconv.Atoi(c); err != nil {
+	if cycles, err = strconv.ParseInt(c, 10, 64); err != nil {
 		return 0, 0, err
 	}
 	return prob, cycles, nil
@@ -211,7 +211,7 @@ type chanFaults struct {
 
 type linkFaults struct {
 	rng       uint64
-	stallLeft int
+	stallLeft int64
 	stalledVC int8
 }
 

@@ -1,0 +1,7 @@
+//go:build !simdebug
+
+package invariant
+
+// Enabled reports whether assertions are compiled in; without the
+// simdebug build tag every assertion is dead code.
+const Enabled = false

@@ -1,0 +1,6 @@
+//go:build simdebug
+
+package invariant
+
+// Enabled reports whether assertions are compiled in (simdebug builds).
+const Enabled = true

@@ -1,0 +1,31 @@
+// Package invariant provides build-tag-gated runtime assertions for the
+// simulator's deterministic core.
+//
+// Assertions compile to nothing in ordinary builds: Enabled is a false
+// constant, so call sites written as
+//
+//	if invariant.Enabled {
+//		invariant.Assert(cond, "format", args...)
+//	}
+//
+// are dead code the compiler removes entirely — the hot path pays zero
+// cycles. Building or testing with `-tags simdebug` flips Enabled to
+// true and turns every violated assertion into a panic carrying the
+// formatted message, so CI's simdebug job catches conservation and
+// bound violations at the cycle they occur rather than as a corrupted
+// statistic thousands of cycles later.
+//
+// Assert itself also consults Enabled, so an unguarded call is safe —
+// just not free, since its arguments are then always evaluated.
+package invariant
+
+import "fmt"
+
+// Assert panics with the formatted message when cond is false and the
+// simdebug build tag is set; otherwise it is a no-op.
+func Assert(cond bool, format string, args ...any) {
+	if !Enabled || cond {
+		return
+	}
+	panic("invariant violated: " + fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,28 @@
+package invariant
+
+import "testing"
+
+// TestAssert pins the tag-dependent contract: with simdebug a false
+// condition panics with the formatted message, without it Assert is a
+// no-op. The test adapts to whichever build it finds itself in, so both
+// `go test` and `go test -tags simdebug` exercise their own half.
+func TestAssert(t *testing.T) {
+	Assert(true, "a true condition never panics (tag %v)", Enabled)
+
+	defer func() {
+		r := recover()
+		if Enabled && r == nil {
+			t.Fatal("simdebug build: false assertion did not panic")
+		}
+		if !Enabled && r != nil {
+			t.Fatalf("release build: assertion panicked: %v", r)
+		}
+		if Enabled {
+			want := "invariant violated: queue 65 over bound 64"
+			if r != want {
+				t.Fatalf("panic = %q, want %q", r, want)
+			}
+		}
+	}()
+	Assert(false, "queue %d over bound %d", 65, 64)
+}

@@ -1,0 +1,38 @@
+package memctrl
+
+import "repro/internal/invariant"
+
+// Debug-build conservation counters. They are ordinary fields (two
+// words per controller), but every update and check sits behind
+// `if invariant.Enabled`, so release builds never touch them.
+type conservation struct {
+	enqueued  uint64 // requests admitted by Enqueue
+	completed uint64 // requests retired by completeInflight
+}
+
+// checkInvariants validates the per-channel structural invariants at a
+// cycle boundary (called from Tick in simdebug builds):
+//
+//   - request conservation: every admitted request is either queued,
+//     in flight, or completed — nothing is duplicated or dropped;
+//   - queue bounds: occupancy never exceeds the configured MEM/PIM
+//     queue capacities (Table I sizes);
+//   - drain discipline: while a mode switch is draining, the inflight
+//     set is the only place work may remain for the outgoing mode's
+//     issue engine to wait on.
+func (c *Controller) checkInvariants() {
+	queued := uint64(len(c.memQ) + len(c.pimQ))
+	inFlight := uint64(len(c.inflight))
+	invariant.Assert(c.cons.enqueued == c.cons.completed+queued+inFlight,
+		"memctrl ch%d cycle %d: request conservation broken: enqueued=%d completed=%d queued=%d inflight=%d",
+		c.channelID, c.now, c.cons.enqueued, c.cons.completed, queued, inFlight)
+	invariant.Assert(len(c.memQ) <= c.mem.MemQSize,
+		"memctrl ch%d cycle %d: MEM queue %d over bound %d",
+		c.channelID, c.now, len(c.memQ), c.mem.MemQSize)
+	invariant.Assert(len(c.pimQ) <= c.mem.PIMQSize,
+		"memctrl ch%d cycle %d: PIM queue %d over bound %d",
+		c.channelID, c.now, len(c.pimQ), c.mem.PIMQSize)
+	invariant.Assert(!c.switching || c.target != c.mode,
+		"memctrl ch%d cycle %d: draining toward the current mode %v",
+		c.channelID, c.now, c.mode)
+}

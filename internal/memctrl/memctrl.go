@@ -14,6 +14,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/dram"
 	"repro/internal/faults"
+	"repro/internal/invariant"
 	"repro/internal/pim"
 	"repro/internal/request"
 	"repro/internal/sched"
@@ -70,6 +71,10 @@ type Controller struct {
 	candOldest []*request.Request
 	candHit    []*request.Request
 	candList   []*request.Request
+
+	// cons backs the simdebug request-conservation assertion; untouched
+	// in release builds (see invariants.go).
+	cons conservation
 }
 
 // New builds a controller for one channel. st and complete may be nil.
@@ -169,6 +174,9 @@ func (c *Controller) Enqueue(req *request.Request) bool {
 		c.memQ = append(c.memQ, req)
 	}
 	c.record(trace.EvEnqueue, req.Bank, req.Row, req.ID, req.Kind.String())
+	if invariant.Enabled {
+		c.cons.enqueued++
+	}
 	return true
 }
 
@@ -246,6 +254,9 @@ func (c *Controller) Tick(now uint64) {
 		c.tmPIMMode.Inc()
 	}
 	c.completeInflight(now)
+	if invariant.Enabled {
+		c.checkInvariants()
+	}
 	if c.flt != nil && c.flt.ThrottledTick(c.channelID, now) {
 		// Throttle window: in-flight requests drained above, but no
 		// refresh handling, arbitration, or new command issue.
@@ -288,6 +299,9 @@ func (c *Controller) completeInflight(now uint64) {
 	for _, f := range c.inflight {
 		if f.doneAt <= now {
 			c.record(trace.EvComplete, f.req.Bank, f.req.Row, f.req.ID, "")
+			if invariant.Enabled {
+				c.cons.completed++
+			}
 			if c.complete != nil {
 				c.complete(f.req, now)
 			}
@@ -530,6 +544,8 @@ func (c *Controller) Reset() {
 	c.memQ = c.memQ[:0]
 	c.pimQ = c.pimQ[:0]
 	c.inflight = c.inflight[:0]
+	c.cons = conservation{} // dropped work must not trip conservation
+
 	c.switching = false
 	c.policy.Reset()
 	c.units.Reset()

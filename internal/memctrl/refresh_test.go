@@ -20,12 +20,17 @@ func TestControllerServicesRefresh(t *testing.T) {
 	var done captured
 	c := New(0, cfg, sched.NewFRFCFS(), &st, done.fn)
 
-	// Feed a steady trickle of MEM reads across 2000 cycles.
-	fed := 0
+	// Feed a steady trickle of MEM reads across 2000 cycles. Bank and
+	// row derive from the injection slot counter, not the cycle counter
+	// (cyclesafe: cycle values must never be narrowed).
+	fed, slot := 0, 0
 	for now := uint64(0); now < 2000; now++ {
-		if now%20 == 0 && c.CanAccept(request.MemRead) {
-			c.Enqueue(memReq(0, int(now/20)%16, uint32(now/100), 0, false))
-			fed++
+		if now%20 == 0 {
+			if c.CanAccept(request.MemRead) {
+				c.Enqueue(memReq(0, slot%16, uint32(slot/5), 0, false))
+				fed++
+			}
+			slot++
 		}
 		c.Tick(now)
 	}

@@ -293,19 +293,22 @@ func TestGatherIssueResetClearsDrain(t *testing.T) {
 }
 
 func TestPolicyNamesAreStable(t *testing.T) {
-	names := map[string]Policy{
-		"fcfs":         NewFCFS(),
-		"mem-first":    NewMemFirst(),
-		"pim-first":    NewPIMFirst(),
-		"fr-fcfs":      NewFRFCFS(),
-		"fr-fcfs-cap":  NewFRFCFSCap(32),
-		"bliss":        NewBLISS(4, 4000),
-		"fr-rr-fcfs":   NewFRRRFCFS(),
-		"gather-issue": NewGatherIssue(56, 32),
+	names := []struct {
+		want string
+		p    Policy
+	}{
+		{"fcfs", NewFCFS()},
+		{"mem-first", NewMemFirst()},
+		{"pim-first", NewPIMFirst()},
+		{"fr-fcfs", NewFRFCFS()},
+		{"fr-fcfs-cap", NewFRFCFSCap(32)},
+		{"bliss", NewBLISS(4, 4000)},
+		{"fr-rr-fcfs", NewFRRRFCFS()},
+		{"gather-issue", NewGatherIssue(56, 32)},
 	}
-	for want, p := range names {
-		if p.Name() != want {
-			t.Errorf("policy name %q, want %q", p.Name(), want)
+	for _, c := range names {
+		if c.p.Name() != c.want {
+			t.Errorf("policy name %q, want %q", c.p.Name(), c.want)
 		}
 	}
 }

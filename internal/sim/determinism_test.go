@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// resultDigest hashes every schedule- and host-independent field of a
+// Result: the full stats record, per-kernel outcomes, cycle counts, the
+// sampling timeline, fault totals, and the telemetry registry + sample
+// ring. The Manifest is deliberately excluded — it carries wall-clock
+// and process-cost fields that legitimately differ between runs.
+func resultDigest(t *testing.T, res *Result) string {
+	t.Helper()
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	parts := []any{
+		res.Stats, res.Kernels, res.GPUCycles, res.DRAMCycles,
+		res.Aborted, res.Samples, res.Faults,
+	}
+	if res.Telemetry != nil {
+		parts = append(parts, res.Telemetry.Registry.Export(), res.Telemetry.Sampler.Snapshots())
+	}
+	for _, v := range parts {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// determinismDigest builds a fresh System from cfg (Systems are
+// single-use), runs it with sampling and telemetry attached, and
+// returns the result digest.
+func determinismDigest(t *testing.T, cfg config.Config) string {
+	t.Helper()
+	gpuSMs, pimSMs := GPUAndPIMSMs(cfg)
+	descs := []KernelDesc{
+		gpuDesc(t, "G8", gpuSMs, 0.1),
+		pimDesc(t, "P1", pimSMs, 0.1),
+	}
+	sys, err := New(cfg, core.Factory("f3fs", cfg.Sched), descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.EnableSampling(500)
+	sys.EnableTelemetry(512, 0)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resultDigest(t, res)
+}
+
+// TestDeterminismDoubleRun is the repository's determinism contract as
+// a regression test: the same (config, seed) run twice must produce
+// byte-identical results and telemetry. Run under -race in CI, this
+// also shakes out any unsynchronized state that could make the pair
+// diverge.
+func TestDeterminismDoubleRun(t *testing.T) {
+	cfg := testCfg()
+	cfg.NoC.Mode = config.VC2
+	first := determinismDigest(t, cfg)
+	second := determinismDigest(t, cfg)
+	if first != second {
+		t.Fatalf("identical configs diverged:\n first %s\nsecond %s", first, second)
+	}
+}
+
+// TestDeterminismDoubleRunWithFaults extends the contract to an active
+// fault schedule: injection draws from seeded splitmix64 streams, so a
+// faulty run must be exactly as reproducible as a clean one.
+func TestDeterminismDoubleRunWithFaults(t *testing.T) {
+	cfg := faultCfg()
+	cfg.Faults.Seed = 99
+	first := determinismDigest(t, cfg)
+	second := determinismDigest(t, cfg)
+	if first != second {
+		t.Fatalf("identical faulty configs diverged:\n first %s\nsecond %s", first, second)
+	}
+}

@@ -201,7 +201,7 @@ func TestRunContextCancellation(t *testing.T) {
 	}
 	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
 	defer dcancel()
-	time.Sleep(time.Millisecond) // let the deadline lapse
+	<-dctx.Done() // the deadline has lapsed before the run starts
 	_, err = sys2.RunContext(dctx)
 	if !errors.As(err, &ie) || !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want deadline-exceeded *ErrInterrupted, got %v", err)

@@ -15,7 +15,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"time"
 
 	"repro/internal/addrmap"
 	"repro/internal/cache"
@@ -666,7 +665,6 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 		return nil, fmt.Errorf("sim: System is single-use; build a new one")
 	}
 	s.ran = true
-	wallStart := time.Now()
 	manifest := telemetry.NewManifest(s.cfg, s.cfg.Seed, s.cfg.Memory.Channels, s.cfg.GPU.NumSMs)
 	for _, k := range s.kernels {
 		manifest.Kernels = append(manifest.Kernels, k.Label())
@@ -759,7 +757,7 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 		// shorter than one epoch produce a timeline point.
 		s.takeTelemetrySample()
 	}
-	manifest.Finish(wallStart, s.gpuCycle, s.dramCycle, aborted, runtime.NumGoroutine())
+	manifest.Finish(s.gpuCycle, s.dramCycle, aborted, runtime.NumGoroutine())
 	if s.tel != nil {
 		manifest.SampleInterval = s.telEvery
 		manifest.Samples = len(s.tel.Sampler.Snapshots())

@@ -61,6 +61,11 @@ type Manifest struct {
 	SampleInterval uint64 `json:"sample_interval,omitempty"`
 	Samples        int    `json:"samples,omitempty"`
 	SamplesDropped uint64 `json:"samples_dropped,omitempty"`
+
+	// start anchors WallTimeMS; it is recorded by NewManifest so the
+	// deterministic simulation core never touches the wall clock
+	// itself (enforced by the detclock analyzer).
+	start time.Time
 }
 
 // HashConfig fingerprints any configuration value by hashing its JSON
@@ -135,19 +140,20 @@ func NewManifest(cfg any, seed int64, channels, sms int) *Manifest {
 		OS:          runtime.GOOS,
 		Arch:        runtime.GOARCH,
 		StartTime:   time.Now().UTC().Format(time.RFC3339),
+		start:       time.Now(),
 	}
 }
 
-// Finish stamps the run outcome and process cost. start is the wall
-// clock at run start; peakGoroutines may be 0 to sample now. The
-// allocation counters need runtime.ReadMemStats (a stop-the-world
+// Finish stamps the run outcome and process cost; the wall time is
+// measured from NewManifest. peakGoroutines may be 0 to sample now.
+// The allocation counters need runtime.ReadMemStats (a stop-the-world
 // probe), so they are filled only while telemetry is enabled — a
 // disabled run's manifest stays effectively free.
-func (m *Manifest) Finish(start time.Time, gpuCycles, dramCycles uint64, aborted bool, peakGoroutines int) {
+func (m *Manifest) Finish(gpuCycles, dramCycles uint64, aborted bool, peakGoroutines int) {
 	if m == nil {
 		return
 	}
-	m.WallTimeMS = time.Since(start).Milliseconds()
+	m.WallTimeMS = time.Since(m.start).Milliseconds()
 	m.GPUCycles = gpuCycles
 	m.DRAMCycles = dramCycles
 	m.Aborted = aborted

@@ -1,0 +1,78 @@
+// Package analysis defines the analyzer interface of the pimlint suite.
+//
+// It is a self-contained re-statement of the core vocabulary of
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — so the
+// suite builds offline with only the standard library. The subset is
+// API-compatible by construction: an analyzer written against this
+// package ports to the upstream framework by changing one import path.
+// Facts, requires-graphs and suggested fixes are deliberately out of
+// scope; the pimlint analyzers are all single-package and fact-free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command
+	// line. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph help text; the first line is the summary.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass presents one package to an analyzer and collects its
+// diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report emits one diagnostic. The driver installs it.
+	Report func(Diagnostic)
+}
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional
+	Category string    // optional
+	Message  string
+}
+
+// Validate checks the analyzer set for driver use: non-empty unique
+// names and a Run function each.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		switch {
+		case a == nil:
+			return fmt.Errorf("analysis: nil analyzer")
+		case a.Name == "":
+			return fmt.Errorf("analysis: analyzer with empty name")
+		case a.Run == nil:
+			return fmt.Errorf("analysis: analyzer %s has no Run", a.Name)
+		case seen[a.Name]:
+			return fmt.Errorf("analysis: duplicate analyzer name %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}

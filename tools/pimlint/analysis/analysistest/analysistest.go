@@ -1,0 +1,175 @@
+// Package analysistest runs a pimlint analyzer over a testdata package
+// and checks its diagnostics against `// want` comments, mirroring the
+// upstream golang.org/x/tools analysistest contract:
+//
+//	m := map[int]int{}
+//	for k := range m { // want `range over map`
+//	}
+//
+// Each `want` carries one or more double-quoted or backquoted regular
+// expressions; every expectation must be matched by a diagnostic on
+// the same line, and every diagnostic must be claimed by an
+// expectation. Test packages live under testdata/src/<name> and are
+// typechecked from source (std imports resolve through the source
+// importer, so no build cache or network is required).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/tools/pimlint/analysis"
+)
+
+// Run analyzes the package in dir (typically
+// filepath.Join("testdata", "src", name)), giving it the import path
+// pkgPath — analyzers that scope themselves by package path (the
+// determinism checks) see that path. It reports every mismatch between
+// diagnostics and `// want` expectations as a test error.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: typecheck %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: analyzer %s: %v", a.Name, err)
+	}
+
+	wants, err := collectWants(fset, files)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	check(t, fset, a, diags, wants)
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// expectation is one `want` regexp anchored to a file line.
+type expectation struct {
+	posn token.Position // file:line of the comment
+	re   *regexp.Regexp
+	met  bool
+}
+
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if i < 0 {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				patterns := wantRe.FindAllString(text[i+len("want "):], -1)
+				if len(patterns) == 0 {
+					return nil, fmt.Errorf("%s: want comment with no quoted pattern", posn)
+				}
+				for _, p := range patterns {
+					var pat string
+					if p[0] == '`' {
+						pat = p[1 : len(p)-1]
+					} else {
+						var err error
+						if pat, err = strconv.Unquote(p); err != nil {
+							return nil, fmt.Errorf("%s: bad want pattern %s: %v", posn, p, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", posn, pat, err)
+					}
+					wants = append(wants, &expectation{posn: posn, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func check(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, diags []analysis.Diagnostic, wants []*expectation) {
+	t.Helper()
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		claimed := false
+		for _, w := range wants {
+			if w.met || w.posn.Filename != posn.Filename || w.posn.Line != posn.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.met = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic from %s: %s", posn, a.Name, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s: expected diagnostic matching %q, got none", w.posn, w.re)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package cyclesafe enforces 64-bit discipline on cycle and tick
+// counters inside the deterministic simulator packages.
+//
+// Cycle counts are unbounded monotonic quantities: a long campaign run
+// exceeds 2^32 DRAM cycles in minutes, so a counter, timestamp or
+// cycle field declared with a narrower integer — or a narrowing
+// conversion applied to one — truncates silently and corrupts every
+// statistic derived from it. The analyzer flags
+//
+//   - declarations (struct fields, vars, parameters, results) whose
+//     name is cycle-like (ends in "cycle"/"cycles", or is one of the
+//     conventional timestamp names: now, tick, doneAt, drainStart) but
+//     whose type is not a 64-bit integer, and
+//   - explicit conversions of a 64-bit cycle-like expression to a
+//     narrower integer type.
+//
+// Bounded durations that are merely *denominated* in cycles (a config
+// field holding "extra cycles per retry") may be exempted by name in
+// pimlint.yaml under cyclesafe_exempt.
+package cyclesafe
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"repro/tools/pimlint/analysis"
+	"repro/tools/pimlint/lintcfg"
+)
+
+var cycleSuffix = regexp.MustCompile(`(?i)cycles?$`)
+
+// timestampNames are the conventional cycle-timestamp identifiers used
+// across the simulator's hot paths.
+var timestampNames = map[string]bool{
+	"now":        true,
+	"tick":       true,
+	"doneAt":     true,
+	"drainStart": true,
+}
+
+func cycleName(name string) bool {
+	return cycleSuffix.MatchString(name) || timestampNames[name]
+}
+
+// New builds the analyzer against a configuration (nil uses defaults).
+func New(cfg *lintcfg.Config) *analysis.Analyzer {
+	if cfg == nil {
+		cfg = lintcfg.Default()
+	}
+	return &analysis.Analyzer{
+		Name: "cyclesafe",
+		Doc: "require 64-bit integers for cycle/tick counters and forbid narrowing them\n\n" +
+			"Cycle counters overflow 32 bits within one long run. Declare " +
+			"them uint64/int64 and never convert them to narrower integer " +
+			"types; exempt bounded cycle-denominated config values by name " +
+			"in pimlint.yaml under cyclesafe_exempt.",
+		Run: func(pass *analysis.Pass) (any, error) {
+			run(cfg, pass)
+			return nil, nil
+		},
+	}
+}
+
+func run(cfg *lintcfg.Config, pass *analysis.Pass) {
+	if !cfg.Deterministic(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.Field:
+				checkNames(cfg, pass, node.Names, node.Type)
+			case *ast.ValueSpec:
+				checkNames(cfg, pass, node.Names, node.Type)
+			case *ast.CallExpr:
+				checkConversion(cfg, pass, node)
+			}
+			return true
+		})
+	}
+}
+
+// checkNames flags cycle-named declarations with a non-64-bit integer
+// type. The type is resolved through go/types so aliases and named
+// types (`type cycles uint32`) are seen through.
+func checkNames(cfg *lintcfg.Config, pass *analysis.Pass, names []*ast.Ident, typeExpr ast.Expr) {
+	if typeExpr == nil || len(names) == 0 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[typeExpr]
+	if !ok {
+		return
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	if is64Bit(basic) {
+		return
+	}
+	for _, name := range names {
+		if !cycleName(name.Name) || cfg.CycleExempted(name.Name) {
+			continue
+		}
+		pass.Reportf(name.Pos(),
+			"cycle counter %s declared %s: cycle/tick quantities must be uint64 or int64 (overflow within one long run); exempt bounded durations via cyclesafe_exempt in pimlint.yaml",
+			name.Name, tv.Type.String())
+	}
+}
+
+// checkConversion flags T(expr) where T is an integer type narrower
+// than 64 bits and expr is a 64-bit integer mentioning a cycle-like
+// identifier.
+func checkConversion(cfg *lintcfg.Config, pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	funTV, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !funTV.IsType() {
+		return
+	}
+	target, ok := funTV.Type.Underlying().(*types.Basic)
+	if !ok || target.Info()&types.IsInteger == 0 || is64Bit(target) {
+		return
+	}
+	argTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	argBasic, ok := argTV.Type.Underlying().(*types.Basic)
+	if !ok || argBasic.Info()&types.IsInteger == 0 || !is64Bit(argBasic) {
+		return
+	}
+	name, ok := cycleIdent(cfg, call.Args[0])
+	if !ok {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"narrowing conversion %s(...) truncates cycle value %s: keep cycle arithmetic in 64 bits",
+		funTV.Type.String(), name)
+}
+
+// is64Bit reports whether the basic integer kind is guaranteed 64 bits
+// wide on every platform. int and uint are excluded deliberately: the
+// spec only guarantees 32 bits, and cycle counters must not depend on
+// the host word size.
+func is64Bit(b *types.Basic) bool {
+	return b.Kind() == types.Int64 || b.Kind() == types.Uint64
+}
+
+// cycleIdent reports the first non-exempt cycle-like identifier
+// mentioned in expr.
+func cycleIdent(cfg *lintcfg.Config, expr ast.Expr) (string, bool) {
+	var found string
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if cycleName(id.Name) && !cfg.CycleExempted(id.Name) {
+			found = id.Name
+			return false
+		}
+		return true
+	})
+	return found, found != ""
+}

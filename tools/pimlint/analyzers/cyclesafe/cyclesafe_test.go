@@ -1,0 +1,26 @@
+package cyclesafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/tools/pimlint/analysis/analysistest"
+	"repro/tools/pimlint/analyzers/cyclesafe"
+	"repro/tools/pimlint/lintcfg"
+)
+
+func TestCyclesafe(t *testing.T) {
+	cfg := &lintcfg.Config{
+		DeterministicPackages: []string{"cyclesafetest"},
+		CycleExempt:           []string{"WarmupCycles"},
+	}
+	analysistest.Run(t, filepath.Join("testdata", "src", "cyclesafetest"), cyclesafe.New(cfg), "cyclesafetest")
+}
+
+// TestCyclesafeScope: outside the deterministic set the analyzer stays
+// silent even on narrow cycle declarations.
+func TestCyclesafeScope(t *testing.T) {
+	cfg := &lintcfg.Config{DeterministicPackages: []string{"cyclesafetest"}}
+	dir := filepath.Join("..", "detmap", "testdata", "src", "scoped")
+	analysistest.Run(t, dir, cyclesafe.New(cfg), "scoped")
+}

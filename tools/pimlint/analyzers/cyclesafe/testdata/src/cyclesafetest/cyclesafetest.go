@@ -1,0 +1,28 @@
+// Package cyclesafetest is analysistest fodder for the cyclesafe
+// analyzer: narrow cycle declarations and narrowing conversions are
+// flagged; 64-bit declarations, exempt names and non-cycle integers
+// are not.
+package cyclesafetest
+
+type stats struct {
+	gpuCycle     uint64 // 64-bit: fine
+	doneAt       int64  // timestamp name, 64-bit: fine
+	dramCycles   uint32 // want `cycle counter dramCycles declared uint32`
+	tick         int32  // want `cycle counter tick declared int32`
+	retryCycles  int    // want `cycle counter retryCycles declared int`
+	WarmupCycles int    // exempted by the test config
+	banks        uint8  // not a cycle name: fine
+}
+
+var lastCycle uint16 // want `cycle counter lastCycle declared uint16`
+
+func narrow(nowCycle uint64, requests int64) {
+	_ = uint32(nowCycle)  // want `narrowing conversion uint32\(\.\.\.\) truncates cycle value nowCycle`
+	_ = int(nowCycle)     // want `narrowing conversion int\(\.\.\.\) truncates cycle value nowCycle`
+	_ = int64(nowCycle)   // same width: fine
+	_ = uint32(requests)  // not a cycle identifier: fine
+	_ = float64(nowCycle) // not an integer target: fine
+	var s stats
+	_ = uint16(s.gpuCycle - uint64(s.banks)) // want `narrowing conversion uint16\(\.\.\.\) truncates cycle value gpuCycle`
+	_ = lastCycle
+}

@@ -1,0 +1,37 @@
+// Package detclocktest is analysistest fodder for the detclock
+// analyzer: wall-clock, global-rand and env reads are flagged, the
+// seeded constructors and method calls are not.
+package detclocktest
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+// Positive cases.
+func flagged() {
+	_ = time.Now()        // want `time\.Now in deterministic package detclocktest`
+	time.Sleep(1)         // want `time\.Sleep in deterministic package`
+	_ = rand.Intn(8)      // want `math/rand\.Intn in deterministic package`
+	_ = rand.Int63()      // want `math/rand\.Int63 in deterministic package`
+	_ = randv2.Uint64()   // want `math/rand/v2\.Uint64 in deterministic package`
+	_ = os.Getenv("HOME") // want `os\.Getenv in deterministic package`
+}
+
+func alsoFlagged(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since in deterministic package`
+}
+
+// Negative cases: explicitly seeded sources, methods, benign os/time API.
+func silent(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are caller-seeded
+	v := r.Intn(100)                    // method on an owned generator
+	p := randv2.NewPCG(1, 2)
+	v += int(p.Uint64() & 0xff) // method, not the global generator
+	var d time.Duration = 5     // the Duration type itself is fine
+	_ = d
+	_ = os.PathSeparator // os constants are host-stable enough for paths
+	return v
+}

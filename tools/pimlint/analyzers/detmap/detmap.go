@@ -1,0 +1,219 @@
+// Package detmap flags `range` over map values inside the simulator's
+// deterministic packages. Go randomizes map iteration order, so any map
+// range in a per-cycle path can silently break the "same seed + same
+// schedule = identical numbers" contract the reproduction advertises.
+//
+// A flagged loop has three outs:
+//
+//   - restructure onto an index-ordered slice (the preferred fix for
+//     hot paths);
+//   - make the body a commutative fold — every statement only
+//     accumulates with +=, |=, ^=, *=, ++/--, or a min/max fold —
+//     which the analyzer proves order-insensitive and allows;
+//   - annotate the statement with a `//pimlint:ordered` comment (same
+//     line or the line above) after making the iteration order
+//     explicitly sorted; the annotation is an audited claim, not an
+//     escape hatch, and reviewers treat it as such.
+package detmap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/pimlint/analysis"
+	"repro/tools/pimlint/lintcfg"
+)
+
+// Annotation marks a map range whose iteration order has been made
+// deterministic by hand (e.g. keys sorted into a slice first).
+const Annotation = "pimlint:ordered"
+
+// New builds the analyzer against a configuration (nil uses defaults).
+func New(cfg *lintcfg.Config) *analysis.Analyzer {
+	if cfg == nil {
+		cfg = lintcfg.Default()
+	}
+	return &analysis.Analyzer{
+		Name: "detmap",
+		Doc: "flag range-over-map in deterministic simulator packages\n\n" +
+			"Map iteration order is randomized; ranging over a map in a " +
+			"per-cycle path makes runs schedule-dependent. Restructure to " +
+			"an indexed slice, make the body a commutative fold, or sort " +
+			"the keys and annotate the loop //pimlint:ordered.",
+		Run: func(pass *analysis.Pass) (any, error) {
+			run(cfg, pass)
+			return nil, nil
+		},
+	}
+}
+
+func run(cfg *lintcfg.Config, pass *analysis.Pass) {
+	if !cfg.Deterministic(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		annotated := annotationLines(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := pass.Fset.Position(rng.Pos()).Line
+			if annotated[line] || annotated[line-1] {
+				return true
+			}
+			if commutativeFold(rng.Body) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map %s in deterministic package %s: iteration order is randomized; use an index-ordered slice, a commutative fold, or sort keys and annotate //%s",
+				exprString(rng.X), pass.Pkg.Path(), Annotation)
+			return true
+		})
+	}
+}
+
+// annotationLines collects the file lines carrying a //pimlint:ordered
+// comment, keyed by line number, so both same-line and line-above
+// placements are honored.
+func annotationLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if containsAnnotation(c.Text) {
+				lines[fset.Position(c.End()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+func containsAnnotation(text string) bool {
+	for i := 0; i+len(Annotation) <= len(text); i++ {
+		if text[i:i+len(Annotation)] == Annotation {
+			return true
+		}
+	}
+	return false
+}
+
+// commutativeFold reports whether every statement of a loop body is an
+// order-insensitive accumulation: counter bumps (x++/x--), commutative
+// compound assignments (+=, |=, ^=, *=), min/max folds via the builtins
+// (x = min(x, e) / x = max(x, e)), or the if-guarded min/max idiom
+// (if e < x { x = e }). Any other statement — appends, sends, calls,
+// non-commutative updates — makes the result depend on visit order.
+func commutativeFold(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false // an empty body hides nothing, but flags nothing either way; treat as non-fold
+	}
+	for _, stmt := range body.List {
+		if !commutativeStmt(stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func commutativeStmt(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return true
+	case *ast.AssignStmt:
+		return commutativeAssign(s)
+	case *ast.IfStmt:
+		return minMaxGuard(s)
+	}
+	return false
+}
+
+func commutativeAssign(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN, token.AND_ASSIGN:
+		return true
+	case token.ASSIGN:
+		// x = min(x, e) / x = max(x, e) with the builtin min/max.
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || (fn.Name != "min" && fn.Name != "max") {
+			return false
+		}
+		for _, arg := range call.Args {
+			if sameExpr(arg, s.Lhs[0]) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// minMaxGuard recognizes `if a OP b { x = y }` where OP is an ordering
+// comparison and {x, y} are exactly the compared operands — the
+// hand-written min/max fold.
+func minMaxGuard(s *ast.IfStmt) bool {
+	if s.Init != nil || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	cmp, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cmp.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	asg, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	l, r := asg.Lhs[0], asg.Rhs[0]
+	return (sameExpr(l, cmp.X) && sameExpr(r, cmp.Y)) ||
+		(sameExpr(l, cmp.Y) && sameExpr(r, cmp.X))
+}
+
+// sameExpr compares two expressions structurally for the identifier and
+// selector shapes the fold patterns use.
+func sameExpr(a, b ast.Expr) bool {
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.SelectorExpr:
+		y, ok := b.(*ast.SelectorExpr)
+		return ok && x.Sel.Name == y.Sel.Name && sameExpr(x.X, y.X)
+	case *ast.IndexExpr:
+		y, ok := b.(*ast.IndexExpr)
+		return ok && sameExpr(x.X, y.X) && sameExpr(x.Index, y.Index)
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	}
+	return "expression"
+}

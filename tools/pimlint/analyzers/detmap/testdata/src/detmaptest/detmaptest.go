@@ -1,0 +1,67 @@
+// Package detmaptest is analysistest fodder for the detmap analyzer:
+// every flagged line carries a `want` expectation, everything else is a
+// negative case the analyzer must stay silent on.
+package detmaptest
+
+func process(int) {}
+
+// Positive cases: order-sensitive map iteration.
+func flagged(m map[int]int) []int {
+	for k := range m { // want `range over map m in deterministic package detmaptest`
+		process(k)
+	}
+	var order []int
+	for k, v := range m { // want `range over map m in deterministic package`
+		order = append(order, k+v)
+	}
+	lookup := map[string][]int{}
+	for _, vs := range lookup { // want `range over map lookup in deterministic package`
+		order = append(order, vs...)
+	}
+	return order
+}
+
+// Negative cases: slices, commutative folds, annotated loops.
+func silent(m map[int]int, s []int) (int, int, int, int) {
+	for _, v := range s { // slices iterate in order
+		process(v)
+	}
+
+	sum := 0
+	for _, v := range m { // commutative fold: +=
+		sum += v
+	}
+
+	count := 0
+	for range m { // commutative fold: ++
+		count++
+	}
+
+	var bits uint
+	for k := range m { // commutative fold: |=
+		bits |= uint(k)
+	}
+	_ = bits
+
+	lo := 1 << 30
+	for _, v := range m { // commutative fold: guarded min
+		if v < lo {
+			lo = v
+		}
+	}
+
+	hi := 0
+	for _, v := range m { // commutative fold: builtin max
+		hi = max(hi, v)
+	}
+
+	//pimlint:ordered — keys are sorted by the caller's contract
+	for k := range m {
+		process(k)
+	}
+	for k := range m { //pimlint:ordered
+		process(k)
+	}
+
+	return sum, count, lo, hi
+}

@@ -1,0 +1,12 @@
+// Package scoped ranges over a map but is analyzed under a package path
+// that is NOT registered as deterministic — the analyzer must stay
+// silent, so this file carries no expectations.
+package scoped
+
+func Keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+package nilhandle_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/tools/pimlint/analysis/analysistest"
+	"repro/tools/pimlint/analyzers/nilhandle"
+	"repro/tools/pimlint/lintcfg"
+)
+
+func TestNilhandle(t *testing.T) {
+	cfg := &lintcfg.Config{NilHandleTypes: []string{"nilhandletest.Handle"}}
+	analysistest.Run(t, filepath.Join("testdata", "src", "nilhandletest"), nilhandle.New(cfg), "nilhandletest")
+}
+
+// TestNilhandleUnregistered runs with an empty registry: nothing may be
+// flagged, so every want comment would go unmet — hence the analyzer is
+// pointed at a registry entry for a different package path and the
+// expectation-free scoped package is reused.
+func TestNilhandleUnregistered(t *testing.T) {
+	cfg := &lintcfg.Config{NilHandleTypes: []string{"elsewhere.Handle"}}
+	dir := filepath.Join("..", "detmap", "testdata", "src", "scoped")
+	analysistest.Run(t, dir, nilhandle.New(cfg), "scoped")
+}

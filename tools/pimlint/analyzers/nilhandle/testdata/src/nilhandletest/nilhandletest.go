@@ -1,0 +1,61 @@
+// Package nilhandletest is analysistest fodder for the nilhandle
+// analyzer. Handle is registered as a nil-safe handle type by the test
+// config; Other is not.
+package nilhandletest
+
+// Handle is a registered nil-safe handle.
+type Handle struct{ n int }
+
+// Good guards first — the canonical pattern.
+func (h *Handle) Good() int {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// GoodOr guards as the left arm of a || chain.
+func (h *Handle) GoodOr(x int) int {
+	if h == nil || x < 0 {
+		return 0
+	}
+	return h.n + x
+}
+
+// GoodReversed writes the comparison nil-first.
+func (h *Handle) GoodReversed() int {
+	if nil == h {
+		return 0
+	}
+	return h.n
+}
+
+// Reset has an empty body: nothing can dereference the receiver.
+func (h *Handle) Reset() {}
+
+// unexported methods are internal call sites that already checked.
+func (h *Handle) unexportedHelper() int { return h.n }
+
+func (h *Handle) Bad() int { // want "must begin with `if h == nil`"
+	return h.n
+}
+
+func (h *Handle) BadLateGuard() int { // want "must begin with `if h == nil`"
+	x := 1
+	if h == nil {
+		return x
+	}
+	return h.n + x
+}
+
+func (h Handle) Value() int { // want "has a value receiver"
+	return h.n
+}
+
+func (_ *Handle) Discard() { // want "discards its receiver"
+}
+
+// Other is not registered; no guard required anywhere.
+type Other struct{ n int }
+
+func (o *Other) NoGuard() int { return o.n }

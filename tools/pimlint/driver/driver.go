@@ -1,0 +1,202 @@
+// Package driver loads Go packages and applies the pimlint analyzers
+// to them, in two modes:
+//
+//   - Standalone (Load + Run): packages named by patterns are resolved
+//     with `go list -export -deps`, typechecked against the compiler's
+//     export data, and analyzed in dependency-closed order. This is
+//     the `go run ./cmd/pimlint ./...` path and needs only the go
+//     toolchain and its build cache — no network, no GOPATH layout.
+//
+//   - Unitchecker (VetMain): the `go vet -vettool=` protocol, where
+//     the go command hands the tool one JSON .cfg per compilation
+//     unit. See vet.go.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/tools/pimlint/analysis"
+)
+
+// Package is one loaded, typechecked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath      string
+	Dir             string
+	Standard        bool
+	DepOnly         bool
+	Export          string
+	CompiledGoFiles []string
+	Error           *struct{ Err string }
+}
+
+// Load resolves patterns to packages (plus their dependency closure
+// for type information) and typechecks every non-dependency match.
+func Load(fset *token.FileSet, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps", "-compiled",
+		"-json=ImportPath,Dir,Standard,DepOnly,Export,CompiledGoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			p := lp
+			targets = append(targets, &p)
+		}
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typecheck(fset, imp, lp.ImportPath, lp.Dir, lp.CompiledGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and checks one package from its file list. File
+// names may be relative to the package directory (go list emits them
+// that way for in-tree sources) or absolute (cache-generated files).
+func typecheck(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		if !strings.HasSuffix(name, ".go") {
+			continue // assembly and cgo intermediates carry no AST
+		}
+		if !filepath.IsAbs(name) && dir != "" {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// Finding is one diagnostic with its analyzer attribution.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Posn, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report: func(d analysis.Diagnostic) {
+					findings = append(findings, Finding{
+						Analyzer: a.Name,
+						Posn:     fset.Position(d.Pos),
+						Message:  d.Message,
+					})
+				},
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Posn, findings[j].Posn
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}

@@ -1,0 +1,166 @@
+// go vet -vettool support: the unitchecker command-line protocol.
+//
+// When the go command drives a vet tool it expects three behaviors:
+//
+//	tool -V=full      print "<name> version devel ... buildID=<hex>"
+//	                  (the content hash keys go's action cache)
+//	tool -flags       print a JSON description of supported flags
+//	tool unit.cfg     analyze one compilation unit described by a
+//	                  JSON config file; print findings to stderr and
+//	                  exit nonzero when there are any
+//
+// The .cfg carries the file list, the import map, and the paths of the
+// compiler's export data for every dependency, so no package loading
+// is needed — exactly the information Load derives via `go list` in
+// standalone mode.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/tools/pimlint/analysis"
+)
+
+// vetConfig mirrors the JSON schema of the .cfg files the go command
+// writes for vet tools (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain handles a `go vet -vettool` invocation if the command line
+// is one, returning true when it consumed the invocation (the caller
+// should not continue into standalone mode). It exits the process
+// itself on analysis completion, matching the protocol.
+func VetMain(args []string, analyzers []*analysis.Analyzer) bool {
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
+		printVersion()
+		os.Exit(0)
+	case len(args) == 1 && args[0] == "-flags":
+		// No pass-through flags are supported; tell go vet so.
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		vetUnit(args[0], analyzers)
+		os.Exit(0)
+	}
+	return false
+}
+
+// printVersion implements -V=full: a "version devel" line whose
+// buildID is the content hash of the executable, so the go command
+// reruns analyses when the tool itself changes.
+func printVersion() {
+	name := "pimlint"
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err2 := os.Open(exe); err2 == nil {
+			h := sha256.New()
+			_, _ = io.Copy(h, f)
+			f.Close()
+			fmt.Printf("%s version devel buildID=%02x\n", name, h.Sum(nil))
+			return
+		}
+	}
+	fmt.Printf("%s version devel buildID=unknown\n", name)
+}
+
+func vetUnit(cfgFile string, analyzers []*analysis.Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err))
+	}
+	if len(cfg.GoFiles) == 0 {
+		fatal(fmt.Errorf("package %s has no Go files", cfg.ImportPath))
+	}
+
+	fset := token.NewFileSet()
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImp.Import(path)
+	})
+
+	pkg, err := typecheck(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg)
+			os.Exit(0)
+		}
+		fatal(err)
+	}
+
+	// The suite is fact-free, so the vetx output (the "facts" this unit
+	// exports for dependents) is always empty; it still must exist for
+	// the go command's caching.
+	writeVetx(cfg)
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	findings, err := Run(fset, []*Package{pkg}, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Posn, f.Message)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func writeVetx(cfg vetConfig) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pimlint: %v\n", err)
+	os.Exit(1)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,186 @@
+// Package lintcfg loads the pimlint configuration: which packages are
+// held to the determinism rules, which types are nil-safe handles, and
+// which names the cycle-width check exempts.
+//
+// The configuration lives in pimlint.yaml at the repository root. Only
+// a small YAML subset is needed (string scalars and string lists), so
+// the file is parsed with a dependency-free reader rather than a full
+// YAML library; see Parse for the accepted grammar. Compiled-in
+// defaults mirror the repository's own pimlint.yaml, so the analyzers
+// behave identically when the file is absent (e.g. under `go vet
+// -vettool` invoked from another directory).
+package lintcfg
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Config is the parsed pimlint configuration.
+type Config struct {
+	// DeterministicPackages lists the import paths (exact or trailing
+	// "/..." prefix patterns) whose code must be schedule- and
+	// host-independent: no map-order dependence, no wall clock, no
+	// global randomness, no environment reads.
+	DeterministicPackages []string
+
+	// NilHandleTypes lists "importpath.TypeName" entries whose exported
+	// pointer-receiver methods must begin with a nil-receiver guard (the
+	// simulator's disabled-handle convention).
+	NilHandleTypes []string
+
+	// CycleExempt lists identifier names the cyclesafe analyzer skips:
+	// bounded durations that are counted in cycles but are not cycle
+	// timestamps or accumulating counters (e.g. a config field holding
+	// "extra cycles per retry").
+	CycleExempt []string
+}
+
+// Default returns the compiled-in configuration, kept in sync with the
+// repository's pimlint.yaml.
+func Default() *Config {
+	return &Config{
+		DeterministicPackages: []string{
+			"repro/internal/sim",
+			"repro/internal/memctrl",
+			"repro/internal/dram",
+			"repro/internal/noc",
+			"repro/internal/sched",
+			"repro/internal/gpu",
+			"repro/internal/pim",
+			"repro/internal/faults",
+		},
+		NilHandleTypes: []string{
+			"repro/internal/telemetry.Counter",
+			"repro/internal/telemetry.Gauge",
+			"repro/internal/telemetry.Histogram",
+			"repro/internal/telemetry.Registry",
+			"repro/internal/telemetry.Collector",
+			"repro/internal/telemetry.Sampler",
+			"repro/internal/telemetry.Manifest",
+			"repro/internal/faults.Injector",
+			"repro/internal/experiments.Journal",
+		},
+		CycleExempt: []string{
+			"DRAMRetryCycles",
+			"NoCStallCycles",
+		},
+	}
+}
+
+// FileName is the configuration file searched for by Find.
+const FileName = "pimlint.yaml"
+
+// Find walks from dir toward the filesystem root looking for
+// pimlint.yaml and returns the parsed file, or Default when no file is
+// found. A file that exists but does not parse is an error: a broken
+// config must not silently weaken the lint.
+func Find(dir string) (*Config, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		path := filepath.Join(dir, FileName)
+		if data, err := os.ReadFile(path); err == nil {
+			cfg, err := Parse(string(data))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			return cfg, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return Default(), nil
+		}
+		dir = parent
+	}
+}
+
+// Parse reads the pimlint.yaml grammar: top-level "key:" headers each
+// followed by "- item" list entries. Blank lines and "#" comments are
+// ignored. Unknown keys are errors so typos fail loudly.
+func Parse(text string) (*Config, error) {
+	cfg := &Config{}
+	var cur *[]string
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if item, ok := strings.CutPrefix(trimmed, "- "); ok {
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: list item outside a key", ln+1)
+			}
+			item = strings.Trim(strings.TrimSpace(item), `"'`)
+			if item == "" {
+				return nil, fmt.Errorf("line %d: empty list item", ln+1)
+			}
+			*cur = append(*cur, item)
+			continue
+		}
+		key, rest, ok := strings.Cut(trimmed, ":")
+		if !ok {
+			return nil, fmt.Errorf("line %d: expected \"key:\" or \"- item\", got %q", ln+1, trimmed)
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("line %d: key %q: only list values are supported", ln+1, key)
+		}
+		switch strings.TrimSpace(key) {
+		case "deterministic_packages":
+			cur = &cfg.DeterministicPackages
+		case "nilhandle_types":
+			cur = &cfg.NilHandleTypes
+		case "cyclesafe_exempt":
+			cur = &cfg.CycleExempt
+		default:
+			return nil, fmt.Errorf("line %d: unknown key %q", ln+1, key)
+		}
+	}
+	return cfg, nil
+}
+
+// Deterministic reports whether the package at importPath is covered by
+// the determinism rules. An entry matches exactly or, when it ends in
+// "/...", as a path prefix.
+func (c *Config) Deterministic(importPath string) bool {
+	for _, p := range c.DeterministicPackages {
+		if prefix, ok := strings.CutSuffix(p, "/..."); ok {
+			if importPath == prefix || strings.HasPrefix(importPath, prefix+"/") {
+				return true
+			}
+		} else if importPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// NilHandle reports whether pkgPath.typeName is a registered nil-safe
+// handle type.
+func (c *Config) NilHandle(pkgPath, typeName string) bool {
+	want := pkgPath + "." + typeName
+	for _, t := range c.NilHandleTypes {
+		if t == want {
+			return true
+		}
+	}
+	return false
+}
+
+// CycleExempted reports whether the named identifier is excused from
+// the cyclesafe width rule.
+func (c *Config) CycleExempted(name string) bool {
+	for _, n := range c.CycleExempt {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+package lintcfg
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	cfg, err := Parse(`
+# comment
+deterministic_packages:
+  - repro/internal/sim
+  - "repro/internal/dram"   # quoted entries are unwrapped
+nilhandle_types:
+  - repro/internal/telemetry.Counter
+cyclesafe_exempt:
+  - DRAMRetryCycles
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Config{
+		DeterministicPackages: []string{"repro/internal/sim", "repro/internal/dram"},
+		NilHandleTypes:        []string{"repro/internal/telemetry.Counter"},
+		CycleExempt:           []string{"DRAMRetryCycles"},
+	}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Fatalf("parse:\n got %+v\nwant %+v", cfg, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"unknown key", "typo_key:\n  - x\n"},
+		{"item outside key", "- stray\n"},
+		{"scalar value", "deterministic_packages: inline\n"},
+		{"empty item", "cyclesafe_exempt:\n  - \"\"\n"},
+		{"bare text", "not yaml at all\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.text); err == nil {
+			t.Errorf("%s: Parse accepted %q", c.name, c.text)
+		}
+	}
+}
+
+func TestDeterministicMatching(t *testing.T) {
+	cfg := &Config{DeterministicPackages: []string{"repro/internal/sim", "repro/internal/noc/..."}}
+	for path, want := range map[string]bool{
+		"repro/internal/sim":        true,
+		"repro/internal/simulator":  false, // exact entries do not prefix-match
+		"repro/internal/noc":        true,
+		"repro/internal/noc/router": true,  // "/..." covers subpackages
+		"repro/internal/nocturnal":  false, // but not sibling names
+		"repro/internal/dram":       false,
+	} {
+		if got := cfg.Deterministic(path); got != want {
+			t.Errorf("Deterministic(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestNilHandleAndExempt(t *testing.T) {
+	cfg := &Config{
+		NilHandleTypes: []string{"repro/internal/telemetry.Counter"},
+		CycleExempt:    []string{"DRAMRetryCycles"},
+	}
+	if !cfg.NilHandle("repro/internal/telemetry", "Counter") {
+		t.Error("registered handle type not matched")
+	}
+	if cfg.NilHandle("repro/internal/telemetry", "Gauge") {
+		t.Error("unregistered type matched")
+	}
+	if cfg.NilHandle("other/pkg", "Counter") {
+		t.Error("type name matched across packages")
+	}
+	if !cfg.CycleExempted("DRAMRetryCycles") || cfg.CycleExempted("gpuCycle") {
+		t.Error("cycle exemption mismatch")
+	}
+}
+
+// TestFind walks upward to the repo root's pimlint.yaml; from a temp
+// dir outside the repo it falls back to the compiled-in defaults, and
+// both must agree (the file and Default() are documented as mirrors).
+func TestFind(t *testing.T) {
+	fromRepo, err := Find(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromNowhere, err := Find(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromNowhere, Default()) {
+		t.Fatal("Find outside the repo should return Default()")
+	}
+	if !reflect.DeepEqual(fromRepo, Default()) {
+		t.Fatalf("pimlint.yaml has drifted from lintcfg.Default():\n file %+v\n code %+v", fromRepo, Default())
+	}
+}
+
+func TestFindRejectsBrokenFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, FileName), []byte("bogus_key:\n  - x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find(dir); err == nil {
+		t.Fatal("broken config silently accepted")
+	}
+}
