@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint fmt-check vulncheck test test-short test-race test-simdebug fuzz-short ci golden-fig8 faults-smoke bench figures examples clean
+.PHONY: all build vet lint fmt-check vulncheck test test-short test-race test-simdebug fuzz-short ci golden-fig8 faults-smoke bench bench-json figures examples clean
 
 all: build vet lint test
 
@@ -85,6 +85,15 @@ faults-smoke:
 # One benchmark per paper table/figure, with custom metrics.
 bench:
 	go test -bench=. -benchmem -run XXX .
+
+# Machine-readable benchmark artifact: run the paper benchmarks, parse
+# the text output into BENCH_5.json (docs/PERFORMANCE.md). CI runs this
+# with BENCHTIME=10x and uploads the file; the committed copy is the
+# tracked baseline.
+BENCHTIME ?= 1x
+bench-json:
+	go test -run '^$$' -bench=. -benchtime=$(BENCHTIME) -benchmem . | tee bench_output.txt
+	go run ./cmd/benchjson -o BENCH_5.json bench_output.txt
 
 # Regenerate every figure at the quick scale (see EXPERIMENTS.md).
 figures:

@@ -1,0 +1,139 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document, so benchmark results can be archived, diffed,
+// and charted without re-parsing the text format downstream.
+//
+// Usage:
+//
+//	go test -bench . -benchmem . | benchjson -o BENCH.json
+//	benchjson -o BENCH.json bench_output.txt
+//
+// Standard units (ns/op, B/op, allocs/op) map to named fields; every
+// other unit — including the simulator's custom b.ReportMetric series
+// like pim-blp-med — lands in the per-benchmark "metrics" object keyed
+// by unit. Header lines (goos, goarch, pkg, cpu) are preserved under
+// "env". Output is deterministic: benchmarks keep input order and JSON
+// object keys are sorted by encoding/json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole document.
+type Report struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// envKeys are the `go test` header lines worth preserving.
+var envKeys = map[string]bool{"goos": true, "goarch": true, "pkg": true, "cpu": true}
+
+// Parse reads `go test -bench` output and returns the structured
+// report. Lines that are neither headers nor benchmark results (PASS,
+// ok, FAIL, test logs) are skipped.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if key, val, ok := strings.Cut(line, ": "); ok && envKeys[key] {
+			if rep.Env == nil {
+				rep.Env = make(map[string]string)
+			}
+			rep.Env[key] = strings.TrimSpace(val)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." test-name log line, not a result
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", b.Name, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = ptr(v)
+			case "allocs/op":
+				b.AllocsPerOp = ptr(v)
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func ptr(v float64) *float64 { return &v }
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark results in input"))
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

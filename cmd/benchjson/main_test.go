@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig4_Characterization 	       2	 477880894 ns/op	        16.00 pim-blp-med	      1586 pim-mcrate-med	53428432 B/op	  759580 allocs/op
+BenchmarkTickZero-8            	 1000000	      1042 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	5.799s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Env["goos"] != "linux" || rep.Env["pkg"] != "repro" {
+		t.Errorf("env = %v", rep.Env)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	fig4 := rep.Benchmarks[0]
+	if fig4.Name != "BenchmarkFig4_Characterization" || fig4.Iterations != 2 {
+		t.Errorf("fig4 header = %+v", fig4)
+	}
+	if fig4.NsPerOp != 477880894 || *fig4.BytesPerOp != 53428432 || *fig4.AllocsPerOp != 759580 {
+		t.Errorf("fig4 standard units = %+v", fig4)
+	}
+	if fig4.Metrics["pim-blp-med"] != 16 || fig4.Metrics["pim-mcrate-med"] != 1586 {
+		t.Errorf("fig4 metrics = %v", fig4.Metrics)
+	}
+	zero := rep.Benchmarks[1]
+	if *zero.AllocsPerOp != 0 || *zero.BytesPerOp != 0 {
+		t.Errorf("explicit zeros must be preserved, got %+v", zero)
+	}
+	if zero.Metrics != nil {
+		t.Errorf("no custom metrics expected, got %v", zero.Metrics)
+	}
+}
+
+func TestParseRejectsMalformedValue(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkX 10 abc ns/op\n"))
+	if err == nil {
+		t.Fatal("malformed value accepted")
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkX\n--- BENCH: BenchmarkX-8\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from log noise, want 0", len(rep.Benchmarks))
+	}
+}

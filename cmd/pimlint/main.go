@@ -9,11 +9,21 @@
 //	nilhandle  exported methods on registered handle types start with
 //	           a nil-receiver guard
 //	cyclesafe  cycle/tick counters are 64-bit and never narrowed
+//	hotalloc   no allocation-causing constructs reachable from the
+//	           per-cycle hot-path roots (whole-program)
+//	telemlive  telemetry metric fields are registered and written
+//	           (whole-program)
+//	cfglive    exported config fields are read by simulator code
+//	           (whole-program)
 //
 // Usage:
 //
 //	go run ./cmd/pimlint ./...            # standalone, from repo root
 //	go vet -vettool=$(which pimlint) ./...  # as a vet tool
+//
+// The whole-program analyzers need every target package in one
+// invocation, so they run only in standalone mode; the per-unit vet
+// protocol skips them.
 //
 // Configuration comes from pimlint.yaml at the repository root (see
 // tools/pimlint/lintcfg); compiled-in defaults match that file. Exit
@@ -27,10 +37,13 @@ import (
 	"os"
 
 	"repro/tools/pimlint/analysis"
+	"repro/tools/pimlint/analyzers/cfglive"
 	"repro/tools/pimlint/analyzers/cyclesafe"
 	"repro/tools/pimlint/analyzers/detclock"
 	"repro/tools/pimlint/analyzers/detmap"
+	"repro/tools/pimlint/analyzers/hotalloc"
 	"repro/tools/pimlint/analyzers/nilhandle"
+	"repro/tools/pimlint/analyzers/telemlive"
 	"repro/tools/pimlint/driver"
 	"repro/tools/pimlint/lintcfg"
 )
@@ -41,6 +54,9 @@ func analyzers(cfg *lintcfg.Config) []*analysis.Analyzer {
 		detclock.New(cfg),
 		nilhandle.New(cfg),
 		cyclesafe.New(cfg),
+		hotalloc.New(cfg),
+		telemlive.New(cfg),
+		cfglive.New(cfg),
 	}
 }
 

@@ -216,7 +216,7 @@ func (c *Channel) CanActivate(bankIdx int, now uint64) bool {
 func (c *Channel) Activate(bankIdx int, row uint32, now uint64) {
 	b := &c.banks[bankIdx]
 	if !c.CanActivate(bankIdx, now) {
-		panic(fmt.Sprintf("dram: illegal ACT bank %d at %d", bankIdx, now))
+		panic(fmt.Sprintf("dram: illegal ACT bank %d at %d", bankIdx, now)) //pimlint:coldpath
 	}
 	t := c.cfg.Timing
 	b.state = Open
@@ -245,7 +245,7 @@ func (c *Channel) CanPrecharge(bankIdx int, now uint64) bool {
 func (c *Channel) Precharge(bankIdx int, now uint64) {
 	b := &c.banks[bankIdx]
 	if !c.CanPrecharge(bankIdx, now) {
-		panic(fmt.Sprintf("dram: illegal PRE bank %d at %d", bankIdx, now))
+		panic(fmt.Sprintf("dram: illegal PRE bank %d at %d", bankIdx, now)) //pimlint:coldpath
 	}
 	b.state = Closed
 	b.openedByPIM = false
@@ -319,7 +319,7 @@ func (c *Channel) dataDelay(write bool) uint64 {
 // drain are both held until tWR elapses).
 func (c *Channel) Column(bankIdx int, row uint32, write bool, now uint64) (doneAt uint64) {
 	if !c.CanColumn(bankIdx, row, write, now) {
-		panic(fmt.Sprintf("dram: illegal column bank %d row %d at %d", bankIdx, row, now))
+		panic(fmt.Sprintf("dram: illegal column bank %d row %d at %d", bankIdx, row, now)) //pimlint:coldpath
 	}
 	t := c.cfg.Timing
 	b := &c.banks[bankIdx]
@@ -491,14 +491,14 @@ func (c *Channel) prechargeAll(now uint64, byPIM bool) {
 	c.tmPrecharges.Inc()
 	if byPIM && c.pim.DualRowBuffer {
 		if !c.CanPIMPrechargeAll(now) {
-			panic(fmt.Sprintf("dram: illegal PIM-buffer PRE at %d", now))
+			panic(fmt.Sprintf("dram: illegal PIM-buffer PRE at %d", now)) //pimlint:coldpath
 		}
 		c.dualPIMOpen = false
 		c.dualPIMActReadyAt = now + uint64(c.cfg.Timing.TRP)
 		return
 	}
 	if !c.CanPrechargeAllBanks(now) {
-		panic(fmt.Sprintf("dram: illegal broadcast PRE at %d", now))
+		panic(fmt.Sprintf("dram: illegal broadcast PRE at %d", now)) //pimlint:coldpath
 	}
 	for i := range c.banks {
 		b := &c.banks[i]
@@ -539,7 +539,7 @@ func (c *Channel) CanRefresh(now uint64) bool {
 // and the next deadline advances by tREFI.
 func (c *Channel) Refresh(now uint64) {
 	if !c.CanRefresh(now) {
-		panic(fmt.Sprintf("dram: illegal REFab at %d", now))
+		panic(fmt.Sprintf("dram: illegal REFab at %d", now)) //pimlint:coldpath
 	}
 	t := c.cfg.Timing
 	until := now + uint64(t.TRFC)
@@ -578,7 +578,7 @@ func (c *Channel) CanPIMActivateAll(now uint64) bool {
 // is exempt from tRRD (dedicated PIM-mode command bandwidth).
 func (c *Channel) PIMActivateAll(row uint32, now uint64) {
 	if !c.CanPIMActivateAll(now) {
-		panic(fmt.Sprintf("dram: illegal broadcast ACT at %d", now))
+		panic(fmt.Sprintf("dram: illegal broadcast ACT at %d", now)) //pimlint:coldpath
 	}
 	t := c.cfg.Timing
 	c.tmActivates.Inc()
@@ -627,7 +627,7 @@ func (c *Channel) CanPIMOp(row uint32, now uint64) bool {
 // row-locality statistics).
 func (c *Channel) PIMOp(row uint32, hit bool, now uint64) (doneAt uint64) {
 	if !c.CanPIMOp(row, now) {
-		panic(fmt.Sprintf("dram: illegal PIM op row %d at %d", row, now))
+		panic(fmt.Sprintf("dram: illegal PIM op row %d at %d", row, now)) //pimlint:coldpath
 	}
 	doneAt = now + uint64(c.pim.OpCycles)
 	c.pimBusyUntil = doneAt

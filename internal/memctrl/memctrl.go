@@ -55,6 +55,11 @@ type Controller struct {
 	inflight []inflight
 	now      uint64
 
+	// vw is the policy-facing view, built once at construction: view is
+	// a value type, so converting it to sched.View at every policy call
+	// would box an allocation onto the per-cycle path (hotalloc).
+	vw sched.View
+
 	tr *trace.Recorder // nil = tracing off
 
 	// Telemetry handles; nil when telemetry is off (their methods no-op
@@ -79,7 +84,7 @@ type Controller struct {
 
 // New builds a controller for one channel. st and complete may be nil.
 func New(channelID int, cfg config.Config, policy sched.Policy, st *stats.Channel, complete CompletionFunc) *Controller {
-	return &Controller{
+	c := &Controller{
 		channelID:  channelID,
 		mem:        cfg.Memory,
 		ch:         dram.NewChannel(cfg.Memory, cfg.PIM, st),
@@ -93,7 +98,12 @@ func New(channelID int, cfg config.Config, policy sched.Policy, st *stats.Channe
 		candOldest: make([]*request.Request, cfg.Memory.Banks),
 		candHit:    make([]*request.Request, cfg.Memory.Banks),
 		candList:   make([]*request.Request, 0, cfg.Memory.Banks),
+		// Every queued request can be in flight at once, so sizing the
+		// buffer to both queues keeps Tick append-only after warmup.
+		inflight: make([]inflight, 0, cfg.Memory.MemQSize+cfg.Memory.PIMQSize),
 	}
+	c.vw = view{c}
+	return c
 }
 
 // Channel exposes the DRAM timing model (tests and detailed probes).
@@ -229,7 +239,7 @@ func (v view) PIMHeadRowOpen() bool {
 
 // View returns the policy-facing view of the controller (exposed for
 // policy unit tests).
-func (c *Controller) View() sched.View { return view{c} }
+func (c *Controller) View() sched.View { return c.vw }
 
 // --- tick ----------------------------------------------------------------
 
@@ -255,7 +265,7 @@ func (c *Controller) Tick(now uint64) {
 	}
 	c.completeInflight(now)
 	if invariant.Enabled {
-		c.checkInvariants()
+		c.checkInvariants() //pimlint:coldpath — simdebug builds only
 	}
 	if c.flt != nil && c.flt.ThrottledTick(c.channelID, now) {
 		// Throttle window: in-flight requests drained above, but no
@@ -318,14 +328,18 @@ func (c *Controller) arbitrate(now uint64) {
 	if c.switching {
 		return // committed to the latched target
 	}
-	desired := c.policy.DesiredMode(view{c})
+	desired := c.policy.DesiredMode(c.vw)
 	if desired == c.mode {
 		return
 	}
 	c.switching = true
 	c.target = desired
 	c.drainStart = now
-	c.record(trace.EvSwitchStart, -1, 0, 0, c.mode.String()+"->"+desired.String())
+	if c.tr != nil {
+		// Note strings are built only under an attached recorder;
+		// tracing is a debug facility, not part of the measured path.
+		c.record(trace.EvSwitchStart, -1, 0, 0, c.mode.String()+"->"+desired.String()) //pimlint:coldpath
+	}
 }
 
 func (c *Controller) finishSwitch(now uint64) {
@@ -340,8 +354,10 @@ func (c *Controller) finishSwitch(now uint64) {
 		}
 	}
 	c.tmDrainHist.Observe(float64(now - c.drainStart))
-	c.policy.OnSwitch(view{c}, c.mode)
-	c.record(trace.EvSwitchDone, -1, 0, 0, from.String()+"->"+c.mode.String())
+	c.policy.OnSwitch(c.vw, c.mode)
+	if c.tr != nil {
+		c.record(trace.EvSwitchDone, -1, 0, 0, from.String()+"->"+c.mode.String()) //pimlint:coldpath
+	}
 }
 
 // --- MEM mode: FR-FCFS engine ----------------------------------------------
@@ -411,7 +427,7 @@ func (c *Controller) issueMEM(now uint64) {
 	if len(c.memQ) == 0 {
 		return
 	}
-	v := view{c}
+	v := c.vw
 	rowHits := c.policy.MemRowHitsAllowed(v)
 	conflictsOK := c.policy.MemConflictServiceAllowed(v)
 	cands := c.memCandidates(rowHits)
@@ -473,11 +489,16 @@ func (c *Controller) issueMEM(now uint64) {
 func (c *Controller) removeMem(r *request.Request) {
 	for i, q := range c.memQ {
 		if q == r {
-			c.memQ = append(c.memQ[:i], c.memQ[i+1:]...)
+			// Shift down in place: append(c.memQ[:i], rest...) reads as
+			// the same operation but is a cross-slice append the
+			// allocation lint can't prove in-place.
+			copy(c.memQ[i:], c.memQ[i+1:])
+			c.memQ[len(c.memQ)-1] = nil
+			c.memQ = c.memQ[:len(c.memQ)-1]
 			return
 		}
 	}
-	panic(fmt.Sprintf("memctrl: request %v not in MEM queue", r))
+	panic(fmt.Sprintf("memctrl: request %v not in MEM queue", r)) //pimlint:coldpath
 }
 
 // --- PIM mode: FCFS lockstep engine ------------------------------------------
@@ -491,7 +512,7 @@ func (c *Controller) issuePIM(now uint64) {
 		return
 	}
 	head := c.pimQ[0]
-	v := view{c}
+	v := c.vw
 	if c.ch.PIMRowOpen(head.Row) {
 		if !c.ch.CanPIMOp(head.Row, now) {
 			return
@@ -500,11 +521,17 @@ func (c *Controller) issuePIM(now uint64) {
 		head.RowClassified = true
 		head.WasRowHit = hit
 		if err := c.units.Execute(head.PIM); err != nil {
-			panic(fmt.Sprintf("memctrl: channel %d: %v", c.channelID, err))
+			panic(fmt.Sprintf("memctrl: channel %d: %v", c.channelID, err)) //pimlint:coldpath
 		}
 		done := c.ch.PIMOp(head.Row, hit, now)
 		c.record(trace.EvPIMOp, -1, head.Row, head.ID, head.PIM.Op.String())
-		c.pimQ = c.pimQ[1:]
+		// Head removal by shift keeps the queue anchored to its
+		// preallocated backing array; c.pimQ = c.pimQ[1:] would walk
+		// the slice forward and shrink its capacity until the next
+		// Enqueue reallocates.
+		copy(c.pimQ, c.pimQ[1:])
+		c.pimQ[len(c.pimQ)-1] = nil
+		c.pimQ = c.pimQ[:len(c.pimQ)-1]
 		c.inflight = append(c.inflight, inflight{req: head, doneAt: done})
 		c.notifyIssue(v, head, hit)
 		return

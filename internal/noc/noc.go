@@ -48,8 +48,14 @@ func vcOf(mode config.VCMode, kind request.Kind) VCID {
 type VCQueue struct {
 	mode  config.VCMode
 	capVC int
-	qs    [2][]*request.Request
-	rr    VCID // VC served last by this queue's consumer
+	// Each VC is a fixed-capacity ring over buf: head indexes the oldest
+	// entry, n counts occupancy. A plain slice FIFO (pop = q[1:]) walks
+	// its backing array forward and forces a reallocation on a later
+	// push, which the per-cycle hot path cannot afford.
+	buf  [2][]*request.Request
+	head [2]int
+	n    [2]int
+	rr   VCID // VC served last by this queue's consumer
 }
 
 // NewVCQueue builds a queue with totalCap entries of buffering: one FIFO
@@ -64,7 +70,12 @@ func NewVCQueue(mode config.VCMode, totalCap int) *VCQueue {
 			capVC = 1
 		}
 	}
-	return &VCQueue{mode: mode, capVC: capVC}
+	q := &VCQueue{mode: mode, capVC: capVC}
+	q.buf[0] = make([]*request.Request, capVC)
+	if mode == config.VC2 {
+		q.buf[1] = make([]*request.Request, capVC)
+	}
+	return q
 }
 
 // Mode returns the queue's VC configuration.
@@ -80,45 +91,51 @@ func (q *VCQueue) VCs() int {
 
 // CanPush reports whether a request of the given kind has buffer space.
 func (q *VCQueue) CanPush(kind request.Kind) bool {
-	return len(q.qs[vcOf(q.mode, kind)]) < q.capVC
+	return q.n[vcOf(q.mode, kind)] < q.capVC
 }
 
 // SpaceFor returns the free entries available to requests of the given
 // kind.
 func (q *VCQueue) SpaceFor(kind request.Kind) int {
-	return q.capVC - len(q.qs[vcOf(q.mode, kind)])
+	return q.capVC - q.n[vcOf(q.mode, kind)]
 }
 
 // Push appends the request to its VC, returning false when full.
 func (q *VCQueue) Push(r *request.Request) bool {
 	vc := vcOf(q.mode, r.Kind)
-	if len(q.qs[vc]) >= q.capVC {
+	if q.n[vc] >= q.capVC {
 		return false
 	}
-	q.qs[vc] = append(q.qs[vc], r)
+	q.buf[vc][(q.head[vc]+q.n[vc])%q.capVC] = r
+	q.n[vc]++
 	return true
 }
 
 // Peek returns the head of the given VC, or nil when empty.
 func (q *VCQueue) Peek(vc VCID) *request.Request {
-	if len(q.qs[vc]) == 0 {
+	if q.n[vc] == 0 {
 		return nil
 	}
-	return q.qs[vc][0]
+	return q.buf[vc][q.head[vc]]
 }
 
 // Pop removes and returns the head of the given VC; it panics when empty.
 func (q *VCQueue) Pop(vc VCID) *request.Request {
-	r := q.qs[vc][0]
-	q.qs[vc] = q.qs[vc][1:]
+	if q.n[vc] == 0 {
+		panic("noc: Pop on empty VC")
+	}
+	r := q.buf[vc][q.head[vc]]
+	q.buf[vc][q.head[vc]] = nil
+	q.head[vc] = (q.head[vc] + 1) % q.capVC
+	q.n[vc]--
 	return r
 }
 
 // Len returns the total queued requests across VCs.
-func (q *VCQueue) Len() int { return len(q.qs[0]) + len(q.qs[1]) }
+func (q *VCQueue) Len() int { return q.n[0] + q.n[1] }
 
 // LenVC returns the occupancy of one VC.
-func (q *VCQueue) LenVC(vc VCID) int { return len(q.qs[vc]) }
+func (q *VCQueue) LenVC(vc VCID) int { return q.n[vc] }
 
 // ServeOrder returns the VCs in the round-robin order the consumer should
 // try this cycle: the VC not served last first, provided it has traffic.
@@ -131,7 +148,7 @@ func (q *VCQueue) ServeOrder() [2]VCID {
 	if q.rr == VCMem {
 		other = VCPim
 	}
-	if len(q.qs[other]) > 0 {
+	if q.n[other] > 0 {
 		return [2]VCID{other, q.rr}
 	}
 	return [2]VCID{q.rr, other}

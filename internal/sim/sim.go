@@ -145,6 +145,11 @@ type System struct {
 	// flt is the fault injector; nil (no schedule) keeps the run
 	// bit-identical to a fault-free build.
 	flt *faults.Injector
+
+	// injectFn is s.inject bound once at construction; taking the method
+	// value inside step would allocate a receiver-bound closure every
+	// cycle (hotalloc).
+	injectFn gpu.InjectFunc
 }
 
 // Sample is one point of the optional execution timeline (see
@@ -337,6 +342,7 @@ func New(cfg config.Config, policy sched.PolicyFactory, descs []KernelDesc) (*Sy
 	if telemetry.Enabled() {
 		s.EnableTelemetry(0, 0)
 	}
+	s.injectFn = s.inject
 	return s, nil
 }
 
@@ -449,7 +455,11 @@ func (s *System) scheduleResponse(r *request.Request, delay int) {
 
 func (s *System) deliverResponses() {
 	due := s.respRing[s.respIdx]
-	s.respRing[s.respIdx] = nil
+	// Park the emptied slice back in the slot so its backing array is
+	// reused next lap. Safe against aliasing: every scheduleResponse
+	// delay is >= 1 and < len(respRing), so nothing appends to this slot
+	// while due is being walked.
+	s.respRing[s.respIdx] = due[:0]
 	for _, r := range due {
 		s.completeForKernel(r)
 	}
@@ -619,7 +629,7 @@ func (s *System) drainToMCs() {
 func (s *System) step() {
 	s.deliverResponses()
 	for _, k := range s.kernels {
-		k.Tick(s.gpuCycle, s.inject)
+		k.Tick(s.gpuCycle, s.injectFn)
 	}
 	s.network.Tick()
 	s.drainNoCOutputs()
@@ -639,10 +649,10 @@ func (s *System) step() {
 	s.gpuCycle++
 	s.respIdx = (s.respIdx + 1) % len(s.respRing)
 	if s.sampleEvery > 0 && s.gpuCycle%s.sampleEvery == 0 {
-		s.takeSample()
+		s.takeSample() //pimlint:coldpath — epoch-gated sampling
 	}
 	if s.telEvery > 0 && s.gpuCycle%s.telEvery == 0 {
-		s.takeTelemetrySample()
+		s.takeTelemetrySample() //pimlint:coldpath — epoch-gated sampling
 	}
 }
 

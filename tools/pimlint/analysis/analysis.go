@@ -27,6 +27,21 @@ type Analyzer struct {
 
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (any, error)
+
+	// End, when set, runs once after Run has been applied to every
+	// package of the invocation. It is the pimlint extension for
+	// whole-program checks (call-graph reachability, cross-package
+	// liveness): Run accumulates per-package facts into the analyzer's
+	// closure and End reports the global diagnostics. Analyzers with an
+	// End hook must also set WholeProgram.
+	End func(report func(Diagnostic)) error
+
+	// WholeProgram marks an analyzer whose verdicts are only meaningful
+	// when every target package has been seen in one invocation. The
+	// standalone driver runs these normally; the per-unit vet driver
+	// (go vet -vettool) skips them, since a compilation unit never sees
+	// the rest of the program.
+	WholeProgram bool
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -69,6 +84,8 @@ func Validate(analyzers []*Analyzer) error {
 			return fmt.Errorf("analysis: analyzer with empty name")
 		case a.Run == nil:
 			return fmt.Errorf("analysis: analyzer %s has no Run", a.Name)
+		case a.End != nil && !a.WholeProgram:
+			return fmt.Errorf("analysis: analyzer %s has an End hook but is not marked WholeProgram", a.Name)
 		case seen[a.Name]:
 			return fmt.Errorf("analysis: duplicate analyzer name %s", a.Name)
 		}

@@ -71,6 +71,11 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
 	if _, err := a.Run(pass); err != nil {
 		t.Fatalf("analysistest: analyzer %s: %v", a.Name, err)
 	}
+	if a.End != nil {
+		if err := a.End(func(d analysis.Diagnostic) { diags = append(diags, d) }); err != nil {
+			t.Fatalf("analysistest: analyzer %s End: %v", a.Name, err)
+		}
+	}
 
 	wants, err := collectWants(fset, files)
 	if err != nil {
@@ -78,6 +83,83 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
 	}
 	check(t, fset, a, diags, wants)
 }
+
+// RunPackages analyzes several testdata packages in one invocation —
+// the whole-program variant of Run. root is the testdata source root
+// (typically filepath.Join("testdata", "src")); each entry of pkgPaths
+// is both an import path and a directory relative to root, listed in
+// dependency order so later packages may import earlier ones. `want`
+// expectations are collected from every package's files, and the
+// analyzer's End hook (if any) runs after all packages have been seen.
+//
+// Analyzers built by a New(cfg) constructor accumulate state in their
+// closure: build a fresh analyzer per RunPackages call.
+func RunPackages(t *testing.T, root string, a *analysis.Analyzer, pkgPaths []string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	checked := make(map[string]*types.Package)
+	std := importer.ForCompiler(fset, "source", nil)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p := checked[path]; p != nil {
+			return p, nil
+		}
+		return std.Import(path)
+	})
+
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	var allFiles []*ast.File
+	for _, pkgPath := range pkgPaths {
+		dir := filepath.Join(root, filepath.FromSlash(pkgPath))
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Instances:  make(map[*ast.Ident]types.Instance),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(pkgPath, fset, files, info)
+		if err != nil {
+			t.Fatalf("analysistest: typecheck %s: %v", dir, err)
+		}
+		checked[pkgPath] = pkg
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    report,
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("analysistest: analyzer %s: %s: %v", a.Name, pkgPath, err)
+		}
+		allFiles = append(allFiles, files...)
+	}
+	if a.End != nil {
+		if err := a.End(report); err != nil {
+			t.Fatalf("analysistest: analyzer %s End: %v", a.Name, err)
+		}
+	}
+
+	wants, err := collectWants(fset, allFiles)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	check(t, fset, a, diags, wants)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)

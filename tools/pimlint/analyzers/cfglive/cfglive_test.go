@@ -1,0 +1,28 @@
+package cfglive_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/tools/pimlint/analysis/analysistest"
+	"repro/tools/pimlint/analyzers/cfglive"
+	"repro/tools/pimlint/lintcfg"
+)
+
+func TestCfglive(t *testing.T) {
+	cfg := &lintcfg.Config{
+		ConfigPackages: []string{"simcfg"},
+		ConfigExempt:   []string{"Sim.Waived"},
+	}
+	analysistest.RunPackages(t, filepath.Join("testdata", "src"), cfglive.New(cfg),
+		[]string{"simcfg", "app"})
+}
+
+// TestCfgliveNoConsumer analyzes the config package alone: nothing
+// reads any field, but without a consumer package in the run the
+// analyzer must not issue verdicts.
+func TestCfgliveNoConsumer(t *testing.T) {
+	cfg := &lintcfg.Config{ConfigPackages: []string{"cfgsolo"}}
+	analysistest.RunPackages(t, filepath.Join("testdata", "src"), cfglive.New(cfg),
+		[]string{"cfgsolo"})
+}

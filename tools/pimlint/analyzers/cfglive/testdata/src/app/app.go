@@ -1,0 +1,12 @@
+// Package app consumes simcfg the way the simulator consumes its
+// config: reading some knobs and writing others.
+package app
+
+import "simcfg"
+
+// Run reads the live knob; the assignment to Unused is a write and
+// must not count as consumption.
+func Run(c *simcfg.Sim) int {
+	c.Unused = 3
+	return c.Used
+}

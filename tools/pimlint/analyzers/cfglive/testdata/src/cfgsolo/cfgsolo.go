@@ -1,0 +1,10 @@
+// Package cfgsolo is analyzed without any consumer package: cfglive
+// must stay silent rather than declare every field dead.
+package cfgsolo
+
+// Knobs would be flagged field by field if the consumer gate were
+// broken.
+type Knobs struct {
+	A int
+	B int
+}

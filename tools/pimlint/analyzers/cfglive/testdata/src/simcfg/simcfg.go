@@ -1,0 +1,15 @@
+// Package simcfg declares the config structs the cfglive tests track.
+package simcfg
+
+// Sim is the exported config struct under test.
+type Sim struct {
+	Used   int
+	Unused int // want `never read outside its declaring package`
+	Waived int
+
+	hidden int // unexported: out of scope
+}
+
+// internalUse reads fields inside the declaring package; validation and
+// hashing do this by design, so it must not count as consumption.
+func internalUse(s *Sim) int { return s.Unused + s.Waived + s.hidden }

@@ -1,0 +1,29 @@
+package hotalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/tools/pimlint/analysis/analysistest"
+	"repro/tools/pimlint/analyzers/hotalloc"
+	"repro/tools/pimlint/lintcfg"
+)
+
+func TestHotalloc(t *testing.T) {
+	cfg := &lintcfg.Config{
+		HotPathRoots:    []string{"(*hotpkg.Engine).Tick"},
+		HotPathPackages: []string{"hotpkg"},
+	}
+	analysistest.Run(t, filepath.Join("testdata", "src", "hotpkg"), hotalloc.New(cfg), "hotpkg")
+}
+
+// TestHotallocNoRoots points the analyzer at a root that does not exist
+// in the analyzed set: the allocating package must produce no findings,
+// since nothing is reachable from an unresolved root.
+func TestHotallocNoRoots(t *testing.T) {
+	cfg := &lintcfg.Config{
+		HotPathRoots:    []string{"(*absent.Engine).Tick"},
+		HotPathPackages: []string{"coldpkg"},
+	}
+	analysistest.Run(t, filepath.Join("testdata", "src", "coldpkg"), hotalloc.New(cfg), "coldpkg")
+}

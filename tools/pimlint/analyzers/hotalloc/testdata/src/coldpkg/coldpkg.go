@@ -1,0 +1,13 @@
+// Package coldpkg allocates freely and is analyzed with a root that
+// does not resolve: hotalloc must stay silent, because with no hot set
+// there is no hot path to protect.
+package coldpkg
+
+// T is an ordinary allocating type.
+type T struct{ buf []int }
+
+// Step allocates on every call.
+func (t *T) Step() {
+	t.buf = append(make([]int, 0, 4), 1, 2, 3)
+	_ = make(map[string]int)
+}

@@ -1,0 +1,78 @@
+// Package hotpkg exercises hotalloc: Engine.Tick is the configured
+// hot-path root, reachability flows through direct calls and interface
+// dispatch, and //pimlint:coldpath cuts both edges and whole functions.
+package hotpkg
+
+import "fmt"
+
+// Policy dispatches through an interface so reachability must expand
+// the call to every implementation in the analyzed set.
+type Policy interface {
+	Apply(n int) int
+}
+
+// Impl is Policy's only implementation.
+type Impl struct{ last int }
+
+// Apply is reached from Tick only through the interface call.
+func (p *Impl) Apply(n int) int {
+	m := make([]int, n) // want `make allocates`
+	p.last = len(m)
+	return p.last
+}
+
+// Engine owns the hot-path root.
+type Engine struct {
+	pol   Policy
+	buf   []int
+	raw   []byte
+	sink  any
+	cb    func()
+	label string
+}
+
+// Tick is the configured hot-path root.
+func (e *Engine) Tick(now int) {
+	e.buf = append(e.buf, now) // self-append over a preallocated buffer: sanctioned
+	other := e.buf
+	e.buf = append(other, now) // want `append extends a slice other than its assignment target`
+	_ = make(map[int]int)      // want `make allocates`
+	_ = new(Engine)            // want `new allocates`
+	m := map[int]int{}         // want `map literal allocates`
+	_ = m
+	s := []int{1, 2} // want `slice literal allocates`
+	_ = s
+	p := &Impl{}            // want `address-taken composite literal escapes to the heap`
+	fmt.Println(now)        // want `fmt\.Println allocates` `boxes a non-pointer int value`
+	e.label = e.label + "x" // want `string concatenation allocates`
+	e.label += "y"          // want `string concatenation allocates`
+	e.raw = []byte(e.label) // want `string/byte-slice conversion copies and allocates`
+	e.cb = func() { _ = p } // want `function literal allocates a closure`
+	e.cb = e.helper         // want `method value allocates a receiver-bound closure`
+	go e.helper()           // want `goroutine launch allocates`
+	e.sink = now            // want `boxes a non-pointer int value`
+	e.sink = "static"       // constant: boxes to static data, no diagnostic
+	e.sink = p              // pointer-shaped: no box, no diagnostic
+	_ = e.pol.Apply(now)    // interface dispatch: drags Impl.Apply into the hot set
+	e.audit(now)
+	e.flush() //pimlint:coldpath — the pruned edge keeps flush out of the hot set
+}
+
+// flush is reachable only through the annotated call in Tick, so its
+// allocations go unreported.
+func (e *Engine) flush() {
+	e.buf = make([]int, 0, 64)
+}
+
+//pimlint:coldpath — declaration-level opt-out covers the whole body
+func (e *Engine) audit(n int) {
+	_ = fmt.Sprint(n)
+}
+
+// helper is bound as a method value and launched as a goroutine above.
+func (e *Engine) helper() {}
+
+// unreached never appears on any path from Tick.
+func unreached() {
+	_ = make([]int, 1)
+}

@@ -1,0 +1,19 @@
+// Package consumer exercises both write patterns telemlive accepts:
+// a direct mutator call on the field, and the simulator's copied-handle
+// pattern where the handle is stashed in a subsystem field at wiring
+// time and mutated through the copy.
+package consumer
+
+import "telem"
+
+// Sub is a subsystem holding a copied handle.
+type Sub struct{ hits *telem.Counter }
+
+// Wire mutates one metric directly and copies another.
+func (s *Sub) Wire(m *telem.Metrics) {
+	m.Wired.Inc()
+	s.hits = m.Copied
+}
+
+// Bump mutates through the copied handle.
+func (s *Sub) Bump() { s.hits.Inc() }

@@ -1,0 +1,40 @@
+// Package telem declares the metric handles and the instrument struct
+// the telemlive tests track.
+package telem
+
+// Counter is a nil-safe counter handle.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Gauge is a nil-safe gauge handle.
+type Gauge struct{ v int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Metrics is the instrument set under test: Wired is mutated directly
+// by the consumer, Copied is consumed through a copied handle, Dead is
+// wired but never touched, Unwired is never wired at all.
+type Metrics struct {
+	Wired   *Counter
+	Copied  *Counter
+	Dead    *Counter // want `registered but never written`
+	Unwired *Gauge   // want `never registered`
+}
+
+// New wires every counter; Unwired is deliberately left nil.
+func New() *Metrics {
+	return &Metrics{Wired: &Counter{}, Copied: &Counter{}, Dead: &Counter{}}
+}

@@ -1,0 +1,21 @@
+// Package telemsolo is analyzed without any consumer package: the
+// fields below are neither wired nor written, but telemlive must stay
+// silent because absence of consumers proves nothing.
+package telemsolo
+
+// Counter is a nil-safe counter handle.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Metrics would be flagged both ways if the consumer gate were broken.
+type Metrics struct {
+	A *Counter
+	B *Counter
+}

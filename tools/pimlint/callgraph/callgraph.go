@@ -1,0 +1,254 @@
+// Package callgraph resolves a conservative static call graph from
+// go/types information, without any x/tools dependency — matching the
+// self-contained design of the rest of the pimlint suite.
+//
+// The graph covers the packages fed to a Builder (the analysis targets).
+// Three kinds of edges are resolved:
+//
+//   - direct calls to package-level functions;
+//   - method calls on concrete receivers (the usual case in the
+//     simulator's tick path);
+//   - interface method calls, expanded to every concrete method in the
+//     analyzed packages whose receiver type implements the interface
+//     (declared-interface method sets). This is the conservative
+//     over-approximation that keeps reachability sound for the
+//     scheduler-policy pattern (sched.Policy, sched.View).
+//
+// Nodes and edges are keyed by types.Func FullName strings rather than
+// object identity: the driver typechecks each target package from
+// source while its dependencies load from compiler export data, so the
+// same function is represented by distinct *types.Func objects in
+// different packages' type information. Names are stable across that
+// boundary; object pointers are not.
+//
+// Calls through plain function values (not method values, not
+// interfaces) are not resolved; the hotalloc analyzer compensates by
+// flagging closure creation in hot code, so an unresolved function
+// value cannot smuggle an allocation into the hot path unnoticed.
+//
+// Edges whose call site sits on a line carrying a skip annotation
+// (//pimlint:coldpath) are not added: annotated call sites are the
+// audited cold branches of hot functions (setup, sampling epochs,
+// panic messages), and pruning them is what gives the annotation its
+// reachability meaning.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Node is one function or method in the graph, with its declaration
+// retained so analyzers can inspect the body of reachable functions.
+type Node struct {
+	Func *types.Func
+	Decl *ast.FuncDecl // nil for functions only seen through calls
+	File *ast.File     // file containing Decl
+	Pkg  *types.Package
+	Info *types.Info // types info of the declaring package
+
+	calls map[string]bool // callee FullNames
+}
+
+// Builder accumulates packages and produces a Graph.
+type Builder struct {
+	nodes map[string]*Node // FullName -> node
+	// ifaceCalls are call sites on interface methods, resolved in
+	// Finish once every named type has been seen.
+	ifaceCalls []ifaceCall
+	// named collects every defined type in the analyzed packages, the
+	// candidate receiver set for interface resolution.
+	named []*types.Named
+	// skipLine reports whether a call site position is annotated as
+	// cold (optional; nil skips nothing).
+	skipLine func(token.Position) bool
+}
+
+type ifaceCall struct {
+	caller *Node
+	iface  *types.Interface
+	method *types.Func
+}
+
+// NewBuilder returns an empty builder. skipLine, when non-nil, is
+// consulted with each call site's position; a true return drops the
+// edge (the //pimlint:coldpath contract).
+func NewBuilder(skipLine func(token.Position) bool) *Builder {
+	return &Builder{
+		nodes:    make(map[string]*Node),
+		skipLine: skipLine,
+	}
+}
+
+// AddPackage feeds one typechecked package into the graph: its
+// functions become nodes, its defined types become interface-resolution
+// candidates, and every call site becomes an edge (interface calls are
+// deferred to Finish).
+func (b *Builder) AddPackage(fset *token.FileSet, pkg *types.Package, files []*ast.File, info *types.Info) {
+	// Collect defined types for the interface method-set resolution.
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+			if n, ok := tn.Type().(*types.Named); ok {
+				b.named = append(b.named, n)
+			}
+		}
+	}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := b.node(obj)
+			node.Decl = fd
+			node.File = file
+			node.Pkg = pkg
+			node.Info = info
+			b.addEdges(fset, node, fd.Body, info)
+		}
+	}
+}
+
+func (b *Builder) node(fn *types.Func) *Node {
+	name := fn.FullName()
+	n := b.nodes[name]
+	if n == nil {
+		n = &Node{Func: fn, calls: make(map[string]bool)}
+		b.nodes[name] = n
+	}
+	return n
+}
+
+// addEdges walks one function body recording call edges. Function
+// literals defined inside the body are attributed to the enclosing
+// declared function: reaching the function reaches its closures.
+func (b *Builder) addEdges(fset *token.FileSet, caller *Node, body ast.Node, info *types.Info) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if b.skipLine != nil && b.skipLine(fset.Position(call.Pos())) {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fn, ok := info.Uses[fun].(*types.Func); ok {
+				caller.calls[fn.FullName()] = true
+			}
+		case *ast.SelectorExpr:
+			sel, ok := info.Selections[fun]
+			if !ok {
+				// Qualified identifier (pkg.Func).
+				if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+					caller.calls[fn.FullName()] = true
+				}
+				return true
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return true
+			}
+			if types.IsInterface(sel.Recv()) {
+				b.ifaceCalls = append(b.ifaceCalls, ifaceCall{
+					caller: caller,
+					iface:  sel.Recv().Underlying().(*types.Interface),
+					method: fn,
+				})
+				return true
+			}
+			caller.calls[fn.FullName()] = true
+		}
+		return true
+	})
+}
+
+// Graph is the resolved call graph.
+type Graph struct {
+	nodes map[string]*Node
+}
+
+// Finish resolves the deferred interface calls against the collected
+// type set and returns the graph.
+func (b *Builder) Finish() *Graph {
+	for _, ic := range b.ifaceCalls {
+		name := ic.method.Name()
+		for _, named := range b.named {
+			if types.IsInterface(named.Underlying()) {
+				continue
+			}
+			ptr := types.NewPointer(named)
+			if !types.Implements(named, ic.iface) && !types.Implements(ptr, ic.iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(ptr, true, ic.method.Pkg(), name)
+			if m, ok := obj.(*types.Func); ok {
+				ic.caller.calls[m.FullName()] = true
+			}
+		}
+		// The interface method itself is also a node target, so roots
+		// expressed as interface methods resolve too.
+		ic.caller.calls[ic.method.FullName()] = true
+	}
+	return &Graph{nodes: b.nodes}
+}
+
+// Lookup returns the node whose types.Func FullName matches id, e.g.
+// "(*repro/internal/memctrl.Controller).Tick" or
+// "repro/internal/sim.GPUAndPIMSMs"; nil when absent.
+func (g *Graph) Lookup(id string) []*Node {
+	if n := g.nodes[id]; n != nil {
+		return []*Node{n}
+	}
+	return nil
+}
+
+// Reachable computes the set of functions reachable from roots, keyed
+// by FullName, excluding functions for which prune returns true (prune
+// may be nil). Pruned functions are neither visited nor expanded.
+func (g *Graph) Reachable(roots []*Node, prune func(*Node) bool) map[string]*Node {
+	reached := make(map[string]*Node)
+	var stack []*Node
+	push := func(n *Node) {
+		if n == nil || reached[n.Func.FullName()] != nil {
+			return
+		}
+		if prune != nil && prune(n) {
+			return
+		}
+		reached[n.Func.FullName()] = n
+		stack = append(stack, n)
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, callee := range n.sortedCalls() {
+			push(g.nodes[callee])
+		}
+	}
+	return reached
+}
+
+// sortedCalls returns the callee names in a stable order so traversal
+// and diagnostics are deterministic run to run.
+func (n *Node) sortedCalls() []string {
+	out := make([]string, 0, len(n.calls))
+	for name := range n.calls {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Calls reports whether the node has a recorded edge to fn (tests).
+func (n *Node) Calls(fn *types.Func) bool { return n.calls[fn.FullName()] }

@@ -160,8 +160,8 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Posn, f.Message, f.Analyzer)
 }
 
-// Run applies every analyzer to every package and returns the findings
-// sorted by position.
+// Run applies every analyzer to every package, runs the whole-program
+// End hooks, and returns the findings sorted by position.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	if err := analysis.Validate(analyzers); err != nil {
 		return nil, err
@@ -186,6 +186,21 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*analysis.Analyzer) (
 			if _, err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.End == nil {
+			continue
+		}
+		err := a.End(func(d analysis.Diagnostic) {
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Posn:     fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {

@@ -53,7 +53,20 @@ type vetConfig struct {
 // is one, returning true when it consumed the invocation (the caller
 // should not continue into standalone mode). It exits the process
 // itself on analysis completion, matching the protocol.
+//
+// Whole-program analyzers (hotalloc/telemlive/cfglive) are skipped
+// here: the vet protocol hands the tool one compilation unit at a
+// time, and a liveness or reachability verdict over a single unit
+// would be wrong, not merely weaker. Run the standalone driver
+// (`go run ./cmd/pimlint ./...`) to get them.
 func VetMain(args []string, analyzers []*analysis.Analyzer) bool {
+	unitSafe := make([]*analysis.Analyzer, 0, len(analyzers))
+	for _, a := range analyzers {
+		if !a.WholeProgram {
+			unitSafe = append(unitSafe, a)
+		}
+	}
+	analyzers = unitSafe
 	switch {
 	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
 		printVersion()

@@ -36,6 +36,34 @@ type Config struct {
 	// timestamps or accumulating counters (e.g. a config field holding
 	// "extra cycles per retry").
 	CycleExempt []string
+
+	// HotPathRoots lists the entry points of the per-cycle hot path in
+	// types.Func FullName form, e.g.
+	// "(*repro/internal/memctrl.Controller).Tick". The hotalloc
+	// analyzer computes the functions reachable from these roots.
+	HotPathRoots []string
+
+	// HotPathPackages lists the import paths whose functions, when
+	// reachable from a hot-path root, must not contain
+	// allocation-causing constructs (composite literals that escape,
+	// make/new, fmt calls, string concatenation, closures, interface
+	// boxing, map literals).
+	HotPathPackages []string
+
+	// TelemetryPackages lists the packages declaring the metric handle
+	// types (Counter, Gauge, Histogram) the telemlive analyzer tracks
+	// for registration/write liveness.
+	TelemetryPackages []string
+
+	// ConfigPackages lists the packages declaring the simulator's
+	// configuration structs; cfglive requires every exported field of
+	// those structs to be read by code outside the declaring package.
+	ConfigPackages []string
+
+	// ConfigExempt lists "TypeName.Field" entries cfglive excuses:
+	// knobs that are intentionally declared ahead of their consumer or
+	// consumed only by generated artifacts.
+	ConfigExempt []string
 }
 
 // Default returns the compiled-in configuration, kept in sync with the
@@ -66,6 +94,34 @@ func Default() *Config {
 		CycleExempt: []string{
 			"DRAMRetryCycles",
 			"NoCStallCycles",
+		},
+		HotPathRoots: []string{
+			"(*repro/internal/memctrl.Controller).Tick",
+			"(*repro/internal/dram.Channel).Tick",
+			"(*repro/internal/noc.Network).Tick",
+			"(*repro/internal/sim.System).step",
+		},
+		HotPathPackages: []string{
+			"repro/internal/sim",
+			"repro/internal/memctrl",
+			"repro/internal/dram",
+			"repro/internal/noc",
+			"repro/internal/sched",
+			"repro/internal/core",
+		},
+		TelemetryPackages: []string{
+			"repro/internal/telemetry",
+		},
+		ConfigPackages: []string{
+			"repro/internal/config",
+		},
+		// Knobs consumed only through derived accessors inside the
+		// config package (AccessBytes, RFPerBank, SliceBytes); cfglive
+		// counts only reads outside the declaring package.
+		ConfigExempt: []string{
+			"Memory.BusWidthB",
+			"PIM.RFSize",
+			"Cache.TotalBytes",
 		},
 	}
 }
@@ -139,6 +195,16 @@ func Parse(text string) (*Config, error) {
 			cur = &cfg.NilHandleTypes
 		case "cyclesafe_exempt":
 			cur = &cfg.CycleExempt
+		case "hotpath_roots":
+			cur = &cfg.HotPathRoots
+		case "hotpath_packages":
+			cur = &cfg.HotPathPackages
+		case "telemetry_packages":
+			cur = &cfg.TelemetryPackages
+		case "config_packages":
+			cur = &cfg.ConfigPackages
+		case "config_exempt":
+			cur = &cfg.ConfigExempt
 		default:
 			return nil, fmt.Errorf("line %d: unknown key %q", ln+1, key)
 		}
@@ -150,16 +216,7 @@ func Parse(text string) (*Config, error) {
 // the determinism rules. An entry matches exactly or, when it ends in
 // "/...", as a path prefix.
 func (c *Config) Deterministic(importPath string) bool {
-	for _, p := range c.DeterministicPackages {
-		if prefix, ok := strings.CutSuffix(p, "/..."); ok {
-			if importPath == prefix || strings.HasPrefix(importPath, prefix+"/") {
-				return true
-			}
-		} else if importPath == p {
-			return true
-		}
-	}
-	return false
+	return containsPath(c.DeterministicPackages, importPath)
 }
 
 // NilHandle reports whether pkgPath.typeName is a registered nil-safe
@@ -179,6 +236,51 @@ func (c *Config) NilHandle(pkgPath, typeName string) bool {
 func (c *Config) CycleExempted(name string) bool {
 	for _, n := range c.CycleExempt {
 		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// HotPackage reports whether the package at importPath is held to the
+// hot-path allocation rules when reachable from a root.
+func (c *Config) HotPackage(importPath string) bool {
+	return containsPath(c.HotPathPackages, importPath)
+}
+
+// TelemetryPackage reports whether importPath declares the tracked
+// metric handle types.
+func (c *Config) TelemetryPackage(importPath string) bool {
+	return containsPath(c.TelemetryPackages, importPath)
+}
+
+// ConfigPackage reports whether importPath declares configuration
+// structs subject to the cfglive field-liveness rule.
+func (c *Config) ConfigPackage(importPath string) bool {
+	return containsPath(c.ConfigPackages, importPath)
+}
+
+// ConfigExempted reports whether TypeName.Field is excused from
+// cfglive.
+func (c *Config) ConfigExempted(typeName, field string) bool {
+	want := typeName + "." + field
+	for _, e := range c.ConfigExempt {
+		if e == want {
+			return true
+		}
+	}
+	return false
+}
+
+// containsPath matches importPath against exact entries or trailing
+// "/..." prefix patterns, the same grammar Deterministic uses.
+func containsPath(list []string, importPath string) bool {
+	for _, p := range list {
+		if prefix, ok := strings.CutSuffix(p, "/..."); ok {
+			if importPath == prefix || strings.HasPrefix(importPath, prefix+"/") {
+				return true
+			}
+		} else if importPath == p {
 			return true
 		}
 	}

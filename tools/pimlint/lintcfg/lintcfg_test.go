@@ -101,6 +101,25 @@ func TestFind(t *testing.T) {
 	}
 }
 
+// TestRepoConfigMatchesDefault parses the repository's pimlint.yaml
+// directly and requires it to be byte-for-byte equivalent to the
+// compiled-in defaults: the two are documented as mirrors, and a drift
+// means `go vet -vettool` runs (which may not see the file) and
+// `make lint` runs enforce different rules.
+func TestRepoConfigMatchesDefault(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "..", FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, Default()) {
+		t.Fatalf("pimlint.yaml has drifted from lintcfg.Default():\n file %+v\n code %+v", parsed, Default())
+	}
+}
+
 func TestFindRejectsBrokenFile(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, FileName), []byte("bogus_key:\n  - x\n"), 0o644); err != nil {

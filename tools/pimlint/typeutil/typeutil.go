@@ -1,0 +1,53 @@
+// Package typeutil holds small go/types helpers shared by the
+// whole-program pimlint analyzers.
+//
+// Its main job is identity across the driver's package boundary: each
+// target package is typechecked from source while its dependencies load
+// from compiler export data, so one struct field is represented by
+// distinct *types.Var objects in different packages' type information.
+// The analyzers therefore key fields by a stable string —
+// "pkgpath.TypeName.FieldName" — built here.
+package typeutil
+
+import "go/types"
+
+// Deref returns the pointee type for pointers and t unchanged
+// otherwise.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// FieldKey returns the stable "pkgpath.TypeName.FieldName" key for a
+// field selection, resolving promoted fields to the struct that
+// actually declares them. ok is false for non-field selections and for
+// fields of unnamed struct types.
+func FieldKey(s *types.Selection) (string, bool) {
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return "", false
+	}
+	t := s.Recv()
+	idx := s.Index()
+	for _, i := range idx[:len(idx)-1] {
+		st, ok := Deref(t).Underlying().(*types.Struct)
+		if !ok {
+			return "", false
+		}
+		t = st.Field(i).Type()
+	}
+	return NamedFieldKey(t, v.Name())
+}
+
+// NamedFieldKey builds the stable key for fieldName of the named struct
+// type t (pointers are dereferenced). ok is false when t is not a named
+// type with a package.
+func NamedFieldKey(t types.Type, fieldName string) (string, bool) {
+	named, ok := Deref(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fieldName, true
+}
