@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint fmt-check vulncheck test test-short test-race test-simdebug fuzz-short ci golden-fig8 faults-smoke bench bench-json figures examples clean
+.PHONY: all build vet lint fmt-check vulncheck test test-short test-race test-simdebug fuzz-short differential-smoke ci golden-fig8 faults-smoke bench bench-json figures examples clean
 
 all: build vet lint test
 
@@ -44,15 +44,25 @@ test-simdebug:
 	go test -tags simdebug ./internal/...
 
 # A few seconds of coverage-guided fuzzing on the address-map
-# round-trip invariants; regressions found here become corpus seeds.
+# round-trip invariants and on the tick/event engine equivalence
+# contract; regressions found here become corpus seeds.
 fuzz-short:
 	go test -run '^$$' -fuzz FuzzAddrMap -fuzztime 10s ./internal/addrmap/
+	go test -run '^$$' -fuzz FuzzNextEvent -fuzztime 30s ./internal/sim/
+
+# Differential gate for the skip-ahead engine: the tick and event cores
+# must produce bit-identical result digests, telemetry counters and
+# epoch series over the workload matrix, plus the per-component
+# NextEvent property tests and the 2x2 engine/fault determinism check.
+differential-smoke:
+	go test -run 'TestDifferentialTickVsEvent|TestDeterminism2x2Engines' -count=1 -v ./internal/sim/
+	go test -run 'TestNextEvent' -count=1 ./internal/dram/ ./internal/noc/ ./internal/memctrl/ ./internal/gpu/
 
 # Mirror of .github/workflows/ci.yml: lint (gofmt + vet + pimlint),
 # build, full tests, race-shortened tests, simdebug assertions, short
 # fuzzing, the golden-figure smoke check, and the fault-injection
 # campaign smoke.
-ci: lint build test test-race test-simdebug fuzz-short golden-fig8 faults-smoke
+ci: lint build test test-race test-simdebug fuzz-short differential-smoke golden-fig8 faults-smoke
 
 # Regenerate Fig. 8 on the golden subset and compare within tolerances
 # (the simulator is deterministic; this flags unintended model drift).
@@ -87,13 +97,13 @@ bench:
 	go test -bench=. -benchmem -run XXX .
 
 # Machine-readable benchmark artifact: run the paper benchmarks, parse
-# the text output into BENCH_5.json (docs/PERFORMANCE.md). CI runs this
+# the text output into BENCH_6.json (docs/PERFORMANCE.md). CI runs this
 # with BENCHTIME=10x and uploads the file; the committed copy is the
 # tracked baseline.
 BENCHTIME ?= 1x
 bench-json:
 	go test -run '^$$' -bench=. -benchtime=$(BENCHTIME) -benchmem . | tee bench_output.txt
-	go run ./cmd/benchjson -o BENCH_5.json bench_output.txt
+	go run ./cmd/benchjson -o BENCH_6.json bench_output.txt
 
 # Regenerate every figure at the quick scale (see EXPERIMENTS.md).
 figures:

@@ -8,6 +8,7 @@ package pimsim
 // for larger kernel sets.
 
 import (
+	"os"
 	"testing"
 )
 
@@ -17,6 +18,15 @@ func benchRunner(b *testing.B) *Runner {
 	b.Helper()
 	cfg := ScaledConfig()
 	cfg.MaxGPUCycles = 2_000_000
+	// PIMSIM_ENGINE=tick re-times every figure on the per-cycle reference
+	// engine, so the event-engine speedup can be measured from one binary.
+	if s := os.Getenv("PIMSIM_ENGINE"); s != "" {
+		eng, err := ParseEngine(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Engine = eng
+	}
 	r := NewRunner(cfg, benchScale)
 	r.Parallel = 4
 	return r

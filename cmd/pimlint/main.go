@@ -9,6 +9,8 @@
 //	nilhandle  exported methods on registered handle types start with
 //	           a nil-receiver guard
 //	cyclesafe  cycle/tick counters are 64-bit and never narrowed
+//	nextevent  NextEvent keeps the (now uint64) uint64 scheduler
+//	           contract and its result is never narrowed
 //	hotalloc   no allocation-causing constructs reachable from the
 //	           per-cycle hot-path roots (whole-program)
 //	telemlive  telemetry metric fields are registered and written
@@ -42,6 +44,7 @@ import (
 	"repro/tools/pimlint/analyzers/detclock"
 	"repro/tools/pimlint/analyzers/detmap"
 	"repro/tools/pimlint/analyzers/hotalloc"
+	"repro/tools/pimlint/analyzers/nextevent"
 	"repro/tools/pimlint/analyzers/nilhandle"
 	"repro/tools/pimlint/analyzers/telemlive"
 	"repro/tools/pimlint/driver"
@@ -54,6 +57,7 @@ func analyzers(cfg *lintcfg.Config) []*analysis.Analyzer {
 		detclock.New(cfg),
 		nilhandle.New(cfg),
 		cyclesafe.New(cfg),
+		nextevent.New(cfg),
 		hotalloc.New(cfg),
 		telemlive.New(cfg),
 		cfglive.New(cfg),

@@ -38,6 +38,7 @@ func main() {
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
 		policies  = flag.String("policies", "", "comma-separated policy subset (default: all nine)")
 		faultsStr = flag.String("faults", "", "fault schedule, e.g. seed=7,dram=0.002:12,noc=0.001:24,throttle=40000:2000")
+		engineStr = flag.String("engine", "event", "simulation core: event (skip-ahead) or tick (reference per-cycle loop)")
 		runTO     = flag.Duration("run-timeout", 0, "per-simulation wall-clock budget (0 = unbounded)")
 		journalF  = flag.String("journal", "", "checkpoint competitive pairs in this journal file")
 		resume    = flag.Bool("resume", true, "resume from the journal; -resume=false starts fresh")
@@ -80,6 +81,12 @@ func main() {
 		cfg.Faults = fs
 		fmt.Printf("fault schedule: %s\n", fs)
 	}
+	eng, err := pimsim.ParseEngine(*engineStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimsweep:", err)
+		os.Exit(1)
+	}
+	cfg.Engine = eng
 	r := pimsim.NewRunner(cfg, *scale)
 	r.Parallel = *parallel
 	r.TelemetryDir = *telOut
@@ -110,7 +117,6 @@ func main() {
 	modes := []pimsim.VCMode{pimsim.VC1, pimsim.VC2}
 
 	start := time.Now()
-	var err error
 	switch *fig {
 	case "4":
 		var c *pimsim.Characterization

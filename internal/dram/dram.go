@@ -43,6 +43,11 @@ type bank struct {
 	state   BankState
 	openRow uint32
 
+	// epoch counts row-buffer transitions (open, close, row change) of
+	// this bank. The controller caches row-hit scans keyed by it: a cached
+	// "oldest row hit" stays valid exactly while the epoch is unchanged.
+	epoch uint64
+
 	// openedByPIM marks that the current row-buffer state (open row or
 	// closure) was last changed by a PIM-mode broadcast command. A
 	// subsequent MEM row miss on such a bank is an "additional MEM
@@ -172,6 +177,231 @@ func (c *Channel) Tick(now uint64) {
 	}
 }
 
+// SyncActivity applies the activity accounting of Tick for every cycle in
+// [from, to] in closed form, assuming no command issues inside the range.
+// Bank busy windows only ever end inside such a range (busyUntil values
+// are fixed between commands), so a bank contributes the prefix of the
+// range below its busyUntil and the count of active cycles is the longest
+// of those prefixes. The event engine uses this to account skipped cycles;
+// calling it over a range and ticking each cycle are bit-identical.
+func (c *Channel) SyncActivity(from, to uint64) {
+	if c.st == nil || to < from {
+		return
+	}
+	var active, busySum uint64
+	for i := range c.banks {
+		bu := c.banks[i].busyUntil
+		if bu <= from {
+			continue // idle across the whole range
+		}
+		end := to
+		if bu-1 < end {
+			end = bu - 1 // busy at cycle t iff t < busyUntil
+		}
+		n := end - from + 1
+		busySum += n
+		if n > active {
+			active = n
+		}
+	}
+	c.st.ActiveCycles += active
+	c.st.BankBusySum += busySum
+}
+
+// --- next-event queries ----------------------------------------------------
+//
+// Every Can* predicate above is a conjunction of "now >= threshold" terms
+// over state that only changes when a command issues, so the earliest
+// cycle an action becomes legal is exactly the maximum of its thresholds.
+// The Next*At methods below mirror their Can* counterparts one for one;
+// they may return a cycle in the past (the action is legal now). The
+// event engine treats them as lower bounds: waking early is harmless
+// (the tick repeats the Can* check), waking late would diverge.
+
+const never = ^uint64(0)
+
+// NextActivateAt returns the earliest cycle CanActivate(bankIdx) can hold,
+// or never when the bank is not closed (a precharge must happen first).
+func (c *Channel) NextActivateAt(bankIdx int) uint64 {
+	b := &c.banks[bankIdx]
+	if b.state != Closed {
+		return never
+	}
+	at := b.actReadyAt
+	if c.lastActAt != 0 {
+		if t := c.lastActAt + uint64(c.cfg.Timing.TRRD); t > at {
+			at = t
+		}
+	}
+	if f := c.cfg.Timing.TFAW; f > 0 {
+		if oldest := c.actWindow[c.actWindowIdx]; oldest != 0 {
+			if t := oldest + uint64(f); t > at {
+				at = t
+			}
+		}
+	}
+	return at
+}
+
+// NextPrechargeAt returns the earliest cycle CanPrecharge(bankIdx) can
+// hold, or never when no row is open.
+func (c *Channel) NextPrechargeAt(bankIdx int) uint64 {
+	b := &c.banks[bankIdx]
+	if b.state != Open {
+		return never
+	}
+	return b.preReadyAt
+}
+
+// NextColumnAt returns the earliest cycle CanColumn(bankIdx, row, write)
+// can hold, or never when the row is not open (an activate must happen
+// first).
+func (c *Channel) NextColumnAt(bankIdx int, row uint32, write bool) uint64 {
+	b := &c.banks[bankIdx]
+	if b.state != Open || b.openRow != row {
+		return never
+	}
+	at := b.colReadyAt
+	if c.haveLastCol {
+		gap := uint64(c.cfg.Timing.TCCDS)
+		if c.group(bankIdx) == c.lastColGroup {
+			gap = uint64(c.cfg.Timing.TCCDL)
+		}
+		if t := c.lastColAt + gap; t > at {
+			at = t
+		}
+	}
+	t := c.cfg.Timing
+	if !write && t.TWTR > 0 && c.lastWriteDataEnd > 0 {
+		if w := c.lastWriteDataEnd + uint64(t.TWTR); w > at {
+			at = w
+		}
+	}
+	if write && t.TRTW > 0 && c.haveRead {
+		if w := c.lastReadCmdAt + uint64(t.TRTW); w > at {
+			at = w
+		}
+	}
+	// busFreeFor: now + dataDelay >= busBusyUntil.
+	if d := c.dataDelay(write); c.busBusyUntil > d {
+		if w := c.busBusyUntil - d; w > at {
+			at = w
+		}
+	}
+	return at
+}
+
+// NextPrechargeAllBanksAt returns the earliest cycle
+// CanPrechargeAllBanks can hold (the latest open bank's recovery window).
+func (c *Channel) NextPrechargeAllBanksAt() uint64 {
+	var at uint64
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.state == Open && b.preReadyAt > at {
+			at = b.preReadyAt
+		}
+	}
+	return at
+}
+
+// NextPIMPrechargeAllAt returns the earliest cycle CanPIMPrechargeAll can
+// hold.
+func (c *Channel) NextPIMPrechargeAllAt() uint64 {
+	if c.pim.DualRowBuffer {
+		if !c.dualPIMOpen {
+			return 0
+		}
+		return c.dualPIMPreReady
+	}
+	return c.NextPrechargeAllBanksAt()
+}
+
+// NextPIMActivateAllAt returns the earliest cycle CanPIMActivateAll can
+// hold, or never while a precharge is still required.
+func (c *Channel) NextPIMActivateAllAt() uint64 {
+	if c.pim.DualRowBuffer {
+		if c.dualPIMOpen {
+			return never
+		}
+		return c.dualPIMActReadyAt
+	}
+	var at uint64
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.state != Closed {
+			return never
+		}
+		if b.actReadyAt > at {
+			at = b.actReadyAt
+		}
+	}
+	return at
+}
+
+// NextPIMOpAt returns the earliest cycle CanPIMOp(row) can hold, or never
+// when the lockstep row is not open.
+func (c *Channel) NextPIMOpAt(row uint32) uint64 {
+	at := c.pimBusyUntil
+	if c.pim.DualRowBuffer {
+		if !c.dualPIMOpen || c.dualPIMRow != row {
+			return never
+		}
+		if c.dualPIMColReady > at {
+			at = c.dualPIMColReady
+		}
+		return at
+	}
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.state != Open || b.openRow != row {
+			return never
+		}
+		if b.colReadyAt > at {
+			at = b.colReadyAt
+		}
+	}
+	return at
+}
+
+// NextRefreshOKAt returns the earliest cycle CanRefresh can hold, or
+// never while a bank is still open.
+func (c *Channel) NextRefreshOKAt() uint64 {
+	var at uint64
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.state != Closed {
+			return never
+		}
+		if b.actReadyAt > at {
+			at = b.actReadyAt
+		}
+	}
+	return at
+}
+
+// RefreshAt returns the next REFab deadline (0 when refresh is disabled).
+func (c *Channel) RefreshAt() uint64 { return c.nextRefreshAt }
+
+// NextEvent returns the earliest cycle strictly after now at which Tick
+// could change channel state: the next cycle some bank is still busy
+// (Tick accumulates activity statistics every such cycle), or the next
+// refresh deadline. Command-driven state changes are initiated by the
+// controller, not by Tick, so they do not appear here. Ticking any cycle
+// in (now, NextEvent(now)) is a no-op.
+func (c *Channel) NextEvent(now uint64) uint64 {
+	if c.st != nil {
+		for i := range c.banks {
+			if c.banks[i].busyUntil > now+1 {
+				return now + 1
+			}
+		}
+	}
+	if c.nextRefreshAt > 0 && c.nextRefreshAt > now {
+		return c.nextRefreshAt
+	}
+	return never
+}
+
 // State returns the row-buffer state of a bank: whether a row is open and
 // which.
 func (c *Channel) State(bankIdx int) (state BankState, row uint32) {
@@ -185,6 +415,11 @@ func (c *Channel) IsRowHit(bankIdx int, row uint32) bool {
 	b := &c.banks[bankIdx]
 	return b.state == Open && b.openRow == row
 }
+
+// RowEpoch returns the bank's row-buffer transition counter. IsRowHit
+// answers for a fixed (bank,row) cannot change between two calls that
+// observe the same epoch.
+func (c *Channel) RowEpoch(bankIdx int) uint64 { return c.banks[bankIdx].epoch }
 
 // --- MEM-mode commands -------------------------------------------------
 
@@ -221,6 +456,7 @@ func (c *Channel) Activate(bankIdx int, row uint32, now uint64) {
 	t := c.cfg.Timing
 	b.state = Open
 	b.openRow = row
+	b.epoch++
 	b.openedByPIM = false
 	b.colReadyAt = now + uint64(t.TRCD)
 	b.preReadyAt = now + uint64(t.TRAS)
@@ -248,6 +484,7 @@ func (c *Channel) Precharge(bankIdx int, now uint64) {
 		panic(fmt.Sprintf("dram: illegal PRE bank %d at %d", bankIdx, now)) //pimlint:coldpath
 	}
 	b.state = Closed
+	b.epoch++
 	b.openedByPIM = false
 	b.actReadyAt = now + uint64(c.cfg.Timing.TRP)
 	if b.busyUntil < b.actReadyAt {
@@ -383,6 +620,7 @@ func (c *Channel) ColumnAP(bankIdx int, row uint32, write bool, now uint64) (don
 	// preReadyAt was just advanced to the recovery point by Column;
 	// the auto-precharge fires there.
 	b.state = Closed
+	b.epoch++
 	b.actReadyAt = b.preReadyAt + uint64(c.cfg.Timing.TRP)
 	if b.busyUntil < b.actReadyAt {
 		b.busyUntil = b.actReadyAt
@@ -504,6 +742,7 @@ func (c *Channel) prechargeAll(now uint64, byPIM bool) {
 		b := &c.banks[i]
 		if b.state == Open {
 			b.state = Closed
+			b.epoch++
 			b.actReadyAt = now + uint64(c.cfg.Timing.TRP)
 			if b.busyUntil < b.actReadyAt {
 				b.busyUntil = b.actReadyAt
@@ -593,6 +832,7 @@ func (c *Channel) PIMActivateAll(row uint32, now uint64) {
 		b := &c.banks[i]
 		b.state = Open
 		b.openRow = row
+		b.epoch++
 		b.openedByPIM = true
 		b.colReadyAt = now + uint64(t.TRCD)
 		b.preReadyAt = now + uint64(t.TRAS)

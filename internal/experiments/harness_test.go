@@ -100,6 +100,12 @@ func (p *panicPolicy) Reset()                                    {}
 // "panic" with the panic value and a stack trace.
 func TestPanicRecoveredAsRunError(t *testing.T) {
 	r := quickRunner()
+	// Pin the per-cycle engine: panicPolicy counts DesiredMode calls, so it
+	// needs the tick engine's every-cycle policy cadence to reach its
+	// threshold. (A call-counting policy is not idempotent, which the event
+	// engine's quiescence analysis assumes; the subject here is the
+	// harness's panic recovery, not scheduling.)
+	r.Cfg.Engine = config.EngineTick
 	cfg, sys := buildCompetitiveSystem(t, r, func() sched.Policy { return &panicPolicy{} }, config.VC1)
 	_, err := r.runSystem(context.Background(), cfg, sys, runID{
 		GPUID: "G8", PIMID: "P1", Policy: "panic-after", Mode: "VC1", What: "competitive",

@@ -341,6 +341,103 @@ func (in *Injector) ThrottledTick(ch int, now uint64) bool {
 	return true
 }
 
+// throttledBelow counts cycles t in [0, n) of channel phase offset with
+// (t+phase) % period < window — the prefix form of the throttle process.
+func (in *Injector) throttledBelow(phase, n uint64) uint64 {
+	p, w := in.sched.ThrottlePeriod, in.sched.ThrottleWindow
+	x := n + phase
+	full := (x / p) * w
+	if r := x % p; r < w {
+		full += r
+	} else {
+		full += w
+	}
+	// Subtract the cycles contributed by the phase offset itself.
+	pre := (phase / p) * w
+	if r := phase % p; r < w {
+		pre += r
+	} else {
+		pre += w
+	}
+	return full - pre
+}
+
+// ThrottledRange applies ThrottledTick's accounting for every cycle in
+// [from, to] in closed form: it adds the number of throttled cycles in
+// the range to the counters exactly as per-cycle calls would. The event
+// engine uses it when skipping a controller across a range it has proven
+// quiescent; calling it and ticking each cycle are bit-identical.
+func (in *Injector) ThrottledRange(ch int, from, to uint64) {
+	if in == nil || in.sched.ThrottlePeriod == 0 || in.sched.ThrottleWindow == 0 || to < from {
+		return
+	}
+	cf := &in.chans[ch]
+	n := in.throttledBelow(cf.throttlePhase+from, to-from+1)
+	if n == 0 {
+		return
+	}
+	in.counts.ThrottledCycles += n
+	if in.tmThrottled != nil {
+		in.tmThrottled[ch].Add(n)
+	}
+}
+
+// Throttled reports whether channel ch sits inside a throttle window at
+// DRAM cycle now, without counting the cycle (the pure-query twin of
+// ThrottledTick, for next-event computations).
+func (in *Injector) Throttled(ch int, now uint64) bool {
+	if in == nil || in.sched.ThrottlePeriod == 0 || in.sched.ThrottleWindow == 0 {
+		return false
+	}
+	return (now+in.chans[ch].throttlePhase)%in.sched.ThrottlePeriod < in.sched.ThrottleWindow
+}
+
+// NextUnthrottled returns the earliest cycle >= now at which channel ch is
+// outside its throttle window. Pure arithmetic — no stream state.
+func (in *Injector) NextUnthrottled(ch int, now uint64) uint64 {
+	if in == nil || in.sched.ThrottlePeriod == 0 || in.sched.ThrottleWindow == 0 {
+		return now
+	}
+	cf := &in.chans[ch]
+	r := (now + cf.throttlePhase) % in.sched.ThrottlePeriod
+	if r >= in.sched.ThrottleWindow {
+		return now
+	}
+	return now + (in.sched.ThrottleWindow - r)
+}
+
+// NextEvent returns the earliest cycle strictly after now at which the
+// injector's time-driven state changes: the next throttle-window boundary
+// (onset or end) of any channel, in DRAM cycles. Link-stall faults draw
+// the RNG every GPU cycle, so an active NoC schedule pins the event to
+// now+1 (the network must tick every cycle to keep the stream aligned).
+// Nil injectors never wake.
+func (in *Injector) NextEvent(now uint64) uint64 {
+	if in == nil {
+		return ^uint64(0)
+	}
+	if in.sched.NoCStallProb > 0 {
+		return now + 1
+	}
+	if in.sched.ThrottlePeriod == 0 || in.sched.ThrottleWindow == 0 {
+		return ^uint64(0)
+	}
+	next := ^uint64(0)
+	for ch := range in.chans {
+		r := (now + in.chans[ch].throttlePhase) % in.sched.ThrottlePeriod
+		var at uint64
+		if r < in.sched.ThrottleWindow {
+			at = now + (in.sched.ThrottleWindow - r) // window end
+		} else {
+			at = now + (in.sched.ThrottlePeriod - r) // next onset
+		}
+		if at < next {
+			next = at
+		}
+	}
+	return next
+}
+
 // LinkTick advances link l by one GPU cycle and returns the virtual
 // channel stalled this cycle (-1 for none). The caller must invoke it
 // exactly once per link per cycle. vcs is the number of virtual channels

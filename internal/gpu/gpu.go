@@ -148,13 +148,28 @@ func (k *Kernel) Tick(now uint64, inject InjectFunc) {
 
 		// Retry a request that was denied injection earlier.
 		if s.pending != nil {
-			if inject(smID, s.pending) {
-				k.issued++
-				s.pending = nil
-			} else {
+			if !inject(smID, s.pending) {
 				k.StallCycles++
 				continue
 			}
+			k.issued++
+			s.pending = nil
+			// The issue clock legitimately freezes while a slot is
+			// backpressured (the per-cycle engine skips the advance on
+			// pending retries), and on resolution the slot issues
+			// immediately with the stale clock. Do not grid-sync it.
+		} else if s.nextIssue < now && !s.exhausted {
+			// Lazy issue-clock sync: a slot at its outstanding cap is
+			// skipped by the event engine, while the per-cycle engine
+			// advances its issue clock by Interval whenever the clock
+			// comes due (the attempt itself is a no-op at the cap). The
+			// trajectory is a closed-form grid — each advance fires
+			// exactly at the clock's value and rebases it Interval later
+			// — so entering cycle `now` the per-cycle engine holds the
+			// smallest grid point >= now. A lagging clock on a
+			// non-pending slot can only mean skipped capped cycles.
+			iv := uint64(k.params.Interval)
+			s.nextIssue += iv * ((now - s.nextIssue + iv - 1) / iv)
 		}
 		if s.exhausted || now < s.nextIssue {
 			continue
@@ -179,6 +194,34 @@ func (k *Kernel) Tick(now uint64, inject InjectFunc) {
 			}
 		}
 	}
+}
+
+// NextEvent returns the earliest GPU cycle strictly after now at which
+// Tick could change observable kernel state, assuming no completions
+// arrive in between — the sim wakes the kernel whenever it delivers one.
+// A slot with a pending (backpressured) request retries every cycle, so
+// it pins the event to now+1. Exhausted slots never act again. A slot at
+// its outstanding cap cannot issue until a completion (an external wake)
+// frees it; its only per-cycle mutation is the issue-clock advance, which
+// Tick reproduces lazily in closed form, so capped slots are skipped.
+func (k *Kernel) NextEvent(now uint64) uint64 {
+	next := ^uint64(0)
+	for i := range k.slots {
+		s := &k.slots[i]
+		if s.pending != nil {
+			return now + 1
+		}
+		if s.exhausted || s.outstanding >= k.params.MaxOutstanding {
+			continue
+		}
+		if s.nextIssue <= now {
+			return now + 1
+		}
+		if s.nextIssue < next {
+			next = s.nextIssue
+		}
+	}
+	return next
 }
 
 // OnComplete retires a finished request belonging to this kernel. It

@@ -55,6 +55,14 @@ type Controller struct {
 	inflight []inflight
 	now      uint64
 
+	// acct is the last DRAM cycle whose per-cycle accounting (queue
+	// occupancy sums, mode residency, DRAM activity, throttle counts)
+	// has been applied. The event engine leaves the controller unticked
+	// across cycles it has proven quiescent; Tick and SyncTo close the
+	// gap in closed form before acting, so the accounting a per-cycle
+	// run accumulates is reproduced bit-identically.
+	acct uint64
+
 	// vw is the policy-facing view, built once at construction: view is
 	// a value type, so converting it to sched.View at every policy call
 	// would box an allocation onto the per-cycle path (hotalloc).
@@ -72,10 +80,18 @@ type Controller struct {
 	// Fault injector handle; nil (the default) means no injection.
 	flt *faults.Injector
 
-	// Scratch buffers for the FR-FCFS engine, reused across cycles.
-	candOldest []*request.Request
-	candHit    []*request.Request
-	candList   []*request.Request
+	// Per-bank FR-FCFS index: bankQ[b] holds the MEM queue's requests to
+	// bank b in arrival (SeqNo) order, so the per-bank "oldest" candidate
+	// is a head read instead of a full-queue scan. candHit[b] caches the
+	// bank's oldest row-hit request; it is valid while hitKnown[b] is set
+	// AND the bank's DRAM row epoch still equals hitEpoch[b] — any row
+	// transition or removal of the cached request forces a rescan of that
+	// bank's (short) list. candList is the scratch candidate slice.
+	bankQ    [][]*request.Request
+	candHit  []*request.Request
+	hitKnown []bool
+	hitEpoch []uint64
+	candList []*request.Request
 
 	// cons backs the simdebug request-conservation assertion; untouched
 	// in release builds (see invariants.go).
@@ -85,22 +101,29 @@ type Controller struct {
 // New builds a controller for one channel. st and complete may be nil.
 func New(channelID int, cfg config.Config, policy sched.Policy, st *stats.Channel, complete CompletionFunc) *Controller {
 	c := &Controller{
-		channelID:  channelID,
-		mem:        cfg.Memory,
-		ch:         dram.NewChannel(cfg.Memory, cfg.PIM, st),
-		units:      pim.NewUnits(cfg.Memory, cfg.PIM),
-		policy:     policy,
-		st:         st,
-		complete:   complete,
-		memQ:       make([]*request.Request, 0, cfg.Memory.MemQSize),
-		pimQ:       make([]*request.Request, 0, cfg.Memory.PIMQSize),
-		mode:       sched.ModeMEM,
-		candOldest: make([]*request.Request, cfg.Memory.Banks),
-		candHit:    make([]*request.Request, cfg.Memory.Banks),
-		candList:   make([]*request.Request, 0, cfg.Memory.Banks),
+		channelID: channelID,
+		mem:       cfg.Memory,
+		ch:        dram.NewChannel(cfg.Memory, cfg.PIM, st),
+		units:     pim.NewUnits(cfg.Memory, cfg.PIM),
+		policy:    policy,
+		st:        st,
+		complete:  complete,
+		memQ:      make([]*request.Request, 0, cfg.Memory.MemQSize),
+		pimQ:      make([]*request.Request, 0, cfg.Memory.PIMQSize),
+		mode:      sched.ModeMEM,
+		bankQ:     make([][]*request.Request, cfg.Memory.Banks),
+		candHit:   make([]*request.Request, cfg.Memory.Banks),
+		hitKnown:  make([]bool, cfg.Memory.Banks),
+		hitEpoch:  make([]uint64, cfg.Memory.Banks),
+		candList:  make([]*request.Request, 0, cfg.Memory.Banks),
 		// Every queued request can be in flight at once, so sizing the
 		// buffer to both queues keeps Tick append-only after warmup.
 		inflight: make([]inflight, 0, cfg.Memory.MemQSize+cfg.Memory.PIMQSize),
+	}
+	// Worst case every queued MEM request targets one bank, so each bank
+	// list is sized to the whole queue to keep Enqueue append-only.
+	for b := range c.bankQ {
+		c.bankQ[b] = make([]*request.Request, 0, cfg.Memory.MemQSize)
 	}
 	c.vw = view{c}
 	return c
@@ -182,6 +205,15 @@ func (c *Controller) Enqueue(req *request.Request) bool {
 		c.pimQ = append(c.pimQ, req)
 	} else {
 		c.memQ = append(c.memQ, req)
+		b := req.Bank
+		c.bankQ[b] = append(c.bankQ[b], req)
+		// A still-valid "no row hit in this bank" cache entry can be
+		// upgraded in place: the arrival is younger than everything
+		// cached, so it becomes the oldest hit only if none existed.
+		if c.hitKnown[b] && c.hitEpoch[b] == c.ch.RowEpoch(b) &&
+			c.candHit[b] == nil && c.ch.IsRowHit(b, req.Row) {
+			c.candHit[b] = req
+		}
 	}
 	c.record(trace.EvEnqueue, req.Bank, req.Row, req.ID, req.Kind.String())
 	if invariant.Enabled {
@@ -196,6 +228,201 @@ func (c *Controller) QueueLens() (mem, pim int) { return len(c.memQ), len(c.pimQ
 // Pending reports whether any work remains queued or in flight.
 func (c *Controller) Pending() bool {
 	return len(c.memQ) > 0 || len(c.pimQ) > 0 || len(c.inflight) > 0
+}
+
+// --- next-event scheduling -------------------------------------------------
+
+const never = ^uint64(0)
+
+// syncRange applies the per-cycle accounting Tick performs for every
+// DRAM cycle in [from, to], in closed form, under the event engine's
+// guarantee that the controller was quiescent across the range: no
+// enqueue, no completion, no command issue, no arbitration change. All
+// quantities are linear in the cycle count with frozen coefficients, so
+// the result is bit-identical to ticking each cycle.
+func (c *Controller) syncRange(from, to uint64) {
+	if to < from {
+		return
+	}
+	d := to - from + 1
+	c.ch.SyncActivity(from, to)
+	if c.st != nil {
+		c.st.MemQOccupancySum += d * uint64(len(c.memQ))
+		c.st.PIMQOccupancySum += d * uint64(len(c.pimQ))
+		c.st.SampledCycles += d
+	}
+	if c.switching {
+		c.tmDrain.Add(d)
+	} else if c.mode == sched.ModeMEM {
+		c.tmMemMode.Add(d)
+	} else {
+		c.tmPIMMode.Add(d)
+	}
+	if c.flt != nil {
+		c.flt.ThrottledRange(c.channelID, from, to)
+	}
+}
+
+// SyncTo closes the controller's deferred accounting through DRAM cycle
+// now and stamps its clock, without running the command engines. The
+// event engine calls it before enqueuing into a skipped controller (so
+// ArriveMCCycle and trace timestamps match the per-cycle engine, whose
+// drain stage runs with the clock one behind the tick) and before
+// reading statistics or telemetry mid-run. A no-op for cycles already
+// accounted.
+func (c *Controller) SyncTo(now uint64) {
+	if now <= c.acct {
+		return
+	}
+	c.syncRange(c.acct+1, now)
+	c.acct = now
+	c.now = now
+}
+
+// NextEvent returns the earliest DRAM cycle strictly after now at which
+// Tick could change controller, DRAM, policy, or statistics state beyond
+// the closed-form accounting SyncTo reproduces. It must be called when
+// the controller's clock is at now (immediately after Tick(now) or
+// SyncTo(now)); the sim must additionally wake the controller whenever it
+// enqueues a request. Waking earlier than necessary is harmless — Tick
+// is exact at every cycle — but waking late would diverge from the
+// per-cycle engine, a contract pinned by the differential harness and
+// the FuzzNextEvent fuzzer.
+func (c *Controller) NextEvent(now uint64) uint64 {
+	next := never
+	// In-flight completions run before the throttle gate, so they are
+	// not deferred by throttle windows.
+	for i := range c.inflight {
+		if at := c.inflight[i].doneAt; at < next {
+			next = at
+		}
+	}
+	// The result is floored at now+1, so once any bound reaches the
+	// floor the remaining (more expensive) stages cannot lower it —
+	// return immediately. In bus-saturated phases a completion is due
+	// nearly every cycle, making this the common exit.
+	if next <= now+1 {
+		return now + 1
+	}
+	// Refresh outranks arbitration; while a deadline is due the
+	// controller precharges/refreshes across consecutive cycles, so tick
+	// them all rather than modeling the (bounded) sequence.
+	if at := c.ch.RefreshAt(); at > 0 {
+		if at <= now {
+			return now + 1
+		}
+		if at < next {
+			next = at
+		}
+	}
+	if next <= now+1 {
+		return now + 1
+	}
+	// Inside a throttle window the per-cycle engine consults nothing
+	// past the gate (in particular not the policy, whose evaluation can
+	// carry side effects like BLISS's clear clock). Tick through the
+	// window rather than model it.
+	if c.flt != nil && c.flt.Throttled(c.channelID, now) {
+		return now + 1
+	}
+	if !c.switching {
+		// Tick calls the policy's DesiredMode before OnIssue, so a
+		// decision input mutated by this cycle's issue (an exhausted
+		// bypass cap, an emptied queue) flips the desired mode only at
+		// the next arbitration — which the per-cycle engine reaches at
+		// the next unthrottled cycle. Policies are required to be
+		// idempotent for frozen inputs, so the extra evaluation here is
+		// equivalence-safe.
+		if c.policy.DesiredMode(c.vw) != c.mode {
+			// The switch starts at the next unthrottled cycle, but
+			// completions (already folded into next) run before the
+			// throttle gate — a window must not defer their wake.
+			if at := c.flt.NextUnthrottled(c.channelID, now+1); at < next {
+				next = at
+			}
+			if next <= now {
+				return now + 1
+			}
+			return next
+		}
+		// Time-sensitive policies (BLISS's blacklist clear) re-decide on
+		// a clock deadline even with frozen queues. The per-cycle engine
+		// consults the policy only on unthrottled cycles.
+		if ts, ok := c.policy.(sched.TimeSensitive); ok {
+			at := c.flt.NextUnthrottled(c.channelID, ts.NextPolicyEvent(now))
+			if at < next {
+				next = at
+			}
+		}
+		if next <= now+1 {
+			return now + 1
+		}
+		if at := c.nextIssueAt(); at < next {
+			next = at
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
+// nextIssueAt returns the earliest cycle the current mode's issue engine
+// could act on its frozen queue and row-buffer state, gated by throttle
+// windows (which block new issue but not completions). It mirrors
+// issueMEM/issuePIM: the minimum over exactly the command-legality
+// deadlines those engines test. never means no queued request can make
+// progress until an enqueue, completion, or mode change.
+func (c *Controller) nextIssueAt() uint64 {
+	at := never
+	if c.mode == sched.ModeMEM {
+		if len(c.memQ) == 0 {
+			return never
+		}
+		rowHits := c.policy.MemRowHitsAllowed(c.vw)
+		conflictsOK := c.policy.MemConflictServiceAllowed(c.vw)
+		cands := c.memCandidates(rowHits)
+		for _, r := range cands {
+			if t := c.ch.NextColumnAt(r.Bank, r.Row, r.IsWrite()); t < at {
+				at = t
+			}
+		}
+		if conflictsOK {
+			for _, r := range cands {
+				if c.ch.IsRowHit(r.Bank, r.Row) {
+					continue // waiting on tCCD or the data bus, not prep
+				}
+				state, openRow := c.ch.State(r.Bank)
+				var t uint64 = never
+				switch {
+				case state == dram.Closed:
+					t = c.ch.NextActivateAt(r.Bank)
+				case state == dram.Open && openRow != r.Row:
+					t = c.ch.NextPrechargeAt(r.Bank)
+				}
+				if t < at {
+					at = t
+				}
+			}
+		}
+	} else {
+		if len(c.pimQ) == 0 {
+			return never
+		}
+		head := c.pimQ[0]
+		switch {
+		case c.ch.PIMRowOpen(head.Row):
+			at = c.ch.NextPIMOpAt(head.Row)
+		case c.ch.NeedsPIMPrecharge():
+			at = c.ch.NextPIMPrechargeAllAt()
+		default:
+			at = c.ch.NextPIMActivateAllAt()
+		}
+	}
+	if at == never {
+		return never
+	}
+	return c.flt.NextUnthrottled(c.channelID, at)
 }
 
 // --- sched.View ----------------------------------------------------------
@@ -224,8 +451,8 @@ func (v view) OldestOverall() (sched.Mode, bool) {
 }
 
 func (v view) MemRowHitAvailable() bool {
-	for _, r := range v.c.memQ {
-		if v.c.ch.IsRowHit(r.Bank, r.Row) {
+	for bank := range v.c.bankQ {
+		if len(v.c.bankQ[bank]) > 0 && v.c.hitFor(bank) != nil {
 			return true
 		}
 	}
@@ -247,6 +474,10 @@ func (c *Controller) View() sched.View { return c.vw }
 // requests, arbitrates the mode (starting or finishing a drain), and
 // issues at most one DRAM command.
 func (c *Controller) Tick(now uint64) {
+	if c.acct+1 < now {
+		c.syncRange(c.acct+1, now-1)
+	}
+	c.acct = now
 	c.now = now
 	c.ch.Tick(now)
 	if c.st != nil {
@@ -362,6 +593,27 @@ func (c *Controller) finishSwitch(now uint64) {
 
 // --- MEM mode: FR-FCFS engine ----------------------------------------------
 
+// hitFor returns bank's oldest row-hit MEM request (nil when none),
+// rescanning the bank's arrival-ordered list only when the cached answer
+// has been invalidated — by a row-buffer transition (epoch mismatch) or
+// by removal of the cached request (hitKnown cleared).
+func (c *Controller) hitFor(bank int) *request.Request {
+	if c.hitKnown[bank] && c.hitEpoch[bank] == c.ch.RowEpoch(bank) {
+		return c.candHit[bank]
+	}
+	var hit *request.Request
+	for _, r := range c.bankQ[bank] {
+		if c.ch.IsRowHit(bank, r.Row) {
+			hit = r
+			break
+		}
+	}
+	c.candHit[bank] = hit
+	c.hitKnown[bank] = true
+	c.hitEpoch[bank] = c.ch.RowEpoch(bank)
+	return hit
+}
+
 // memCandidates computes, per bank, the request the engine would service
 // next: the oldest row hit when row hits are allowed, otherwise the oldest
 // request for that bank. When rowHitsAllowed is false the engine is in
@@ -377,26 +629,14 @@ func (c *Controller) memCandidates(rowHitsAllowed bool) []*request.Request {
 		c.candList = append(c.candList, c.memQ[0])
 		return c.candList
 	}
-	for i := range c.candOldest {
-		c.candOldest[i] = nil
-		c.candHit[i] = nil
-	}
-	for _, r := range c.memQ {
-		if c.candOldest[r.Bank] == nil {
-			c.candOldest[r.Bank] = r
-		}
-		if c.candHit[r.Bank] == nil && c.ch.IsRowHit(r.Bank, r.Row) {
-			c.candHit[r.Bank] = r
-		}
-	}
-	for bank, r := range c.candOldest {
-		if r == nil {
+	for bank := range c.bankQ {
+		if len(c.bankQ[bank]) == 0 {
 			continue
 		}
-		if h := c.candHit[bank]; h != nil {
+		if h := c.hitFor(bank); h != nil {
 			c.candList = append(c.candList, h)
 		} else {
-			c.candList = append(c.candList, r)
+			c.candList = append(c.candList, c.bankQ[bank][0])
 		}
 	}
 	return c.candList
@@ -487,6 +727,18 @@ func (c *Controller) issueMEM(now uint64) {
 }
 
 func (c *Controller) removeMem(r *request.Request) {
+	bq := c.bankQ[r.Bank]
+	for i, q := range bq {
+		if q == r {
+			copy(bq[i:], bq[i+1:])
+			bq[len(bq)-1] = nil
+			c.bankQ[r.Bank] = bq[:len(bq)-1]
+			break
+		}
+	}
+	if c.candHit[r.Bank] == r {
+		c.hitKnown[r.Bank] = false // next-oldest hit needs a rescan
+	}
 	for i, q := range c.memQ {
 		if q == r {
 			// Shift down in place: append(c.memQ[:i], rest...) reads as
@@ -571,6 +823,10 @@ func (c *Controller) Reset() {
 	c.memQ = c.memQ[:0]
 	c.pimQ = c.pimQ[:0]
 	c.inflight = c.inflight[:0]
+	for b := range c.bankQ {
+		c.bankQ[b] = c.bankQ[b][:0]
+		c.hitKnown[b] = false
+	}
 	c.cons = conservation{} // dropped work must not trip conservation
 
 	c.switching = false

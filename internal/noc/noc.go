@@ -178,6 +178,12 @@ type Network struct {
 	// nil, keeping Tick bit-identical to a fault-free run.
 	flt     *faults.Injector
 	stallVC []int8
+
+	// inFlits counts requests buffered across all input ports. Tick only
+	// mutates durable state (rrInput, lastVC, output queues) when it
+	// grants a flit, which requires a non-empty input, so the counter
+	// lets NextEvent prove an empty crossbar cycle is a no-op in O(1).
+	inFlits int
 }
 
 // New builds the network for the given configuration.
@@ -218,8 +224,25 @@ func (n *Network) Inject(sm int, r *request.Request) bool {
 		n.tmRejected.Inc()
 		return false
 	}
+	n.inFlits++
 	n.tmInjected.Inc()
 	return true
+}
+
+// InFlits returns the requests currently buffered at the input ports.
+func (n *Network) InFlits() int { return n.inFlits }
+
+// NextEvent returns the earliest GPU cycle strictly after now at which
+// Tick could change network state. With an active link-stall schedule
+// the per-link RNG draws once per link per cycle, so the network must
+// tick every cycle to keep the fault stream aligned; otherwise a
+// crossbar with empty input ports cannot grant anything (arbitration
+// pointers move only on grants) and sleeps until an injection wakes it.
+func (n *Network) NextEvent(now uint64) uint64 {
+	if n.inFlits > 0 || n.flt.Schedule().NoCStallProb > 0 {
+		return now + 1
+	}
+	return ^uint64(0)
 }
 
 // SetTelemetry installs the interconnect's telemetry handles (nil
@@ -287,6 +310,7 @@ func (n *Network) Tick() {
 				}
 				if vc, ok := n.pickVC(iq, in, out, oq); ok {
 					r := iq.Pop(vc)
+					n.inFlits--
 					if !oq.Push(r) {
 						panic("noc: output accepted but push failed")
 					}

@@ -92,6 +92,18 @@ func (p *BLISS) OnIssue(v View, info IssueInfo) {
 	}
 }
 
+// NextPolicyEvent implements TimeSensitive: the blacklist clears when the
+// controller's clock reaches lastClear+ClearInterval, so a quiescent
+// controller must re-evaluate DesiredMode then. A clamp to now+1 covers an
+// already-overdue clear (maybeClear runs on the very next evaluation).
+func (p *BLISS) NextPolicyEvent(now uint64) uint64 {
+	at := p.lastClear + uint64(p.ClearInterval)
+	if at <= now {
+		return now + 1
+	}
+	return at
+}
+
 // OnSwitch implements Policy.
 func (*BLISS) OnSwitch(View, Mode) {}
 

@@ -108,3 +108,18 @@ type Policy interface {
 
 // PolicyFactory builds a fresh per-channel policy instance.
 type PolicyFactory func() Policy
+
+// TimeSensitive is implemented by policies whose decisions can change
+// purely because time passes, with no queue or issue activity (today only
+// BLISS, whose blacklist clears every ClearInterval cycles). The event
+// engine must wake a quiescent controller at NextPolicyEvent so a lazily
+// evaluated DesiredMode sees the same clock the per-cycle engine would.
+// Policies that mutate state only in DesiredMode/OnIssue/OnSwitch as a
+// function of the queues need not implement it.
+type TimeSensitive interface {
+	// NextPolicyEvent returns the earliest cycle strictly after now at
+	// which the policy's outputs could change with unchanged queues.
+	// Returning early is harmless; returning late breaks tick/event
+	// equivalence.
+	NextPolicyEvent(now uint64) uint64
+}

@@ -84,3 +84,43 @@ func TestDeterminismDoubleRunWithFaults(t *testing.T) {
 		t.Fatalf("identical faulty configs diverged:\n first %s\nsecond %s", first, second)
 	}
 }
+
+// TestDeterminism2x2Engines widens the contract across the engine axis:
+// for each fault condition, running the per-cycle loop twice and the
+// skip-ahead loop twice must yield one identical digest across all four
+// runs. Engine choice is a performance knob, never an observable one.
+// Run under -race in CI like the double-run tests above.
+func TestDeterminism2x2Engines(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func() config.Config
+	}{
+		{"clean", func() config.Config {
+			cfg := testCfg()
+			cfg.NoC.Mode = config.VC2
+			return cfg
+		}},
+		{"faulty", func() config.Config {
+			cfg := faultCfg()
+			cfg.Faults.Seed = 99
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var want string
+			for _, eng := range []config.Engine{config.EngineTick, config.EngineEvent} {
+				for rep := 0; rep < 2; rep++ {
+					cfg := tc.cfg()
+					cfg.Engine = eng
+					got := determinismDigest(t, cfg)
+					if want == "" {
+						want = got
+					} else if got != want {
+						t.Fatalf("engine=%v rep=%d digest %s != %s", eng, rep, got, want)
+					}
+				}
+			}
+		})
+	}
+}

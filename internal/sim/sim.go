@@ -150,6 +150,18 @@ type System struct {
 	// value inside step would allocate a receiver-bound closure every
 	// cycle (hotalloc).
 	injectFn gpu.InjectFunc
+
+	// Event-engine state (nil/zero under config.EngineTick, which runs
+	// the original per-cycle reference loop). kNext[i] is the next GPU
+	// cycle kernel i must tick; mcNext[ch] the next DRAM cycle controller
+	// ch must tick; respCount the responses scheduled but not yet
+	// delivered; nocFaulty pins the crossbar to per-cycle ticking so the
+	// link-stall RNG stream stays aligned with the reference engine.
+	tickEngine bool
+	kNext      []uint64
+	mcNext     []uint64
+	respCount  int
+	nocFaulty  bool
 }
 
 // Sample is one point of the optional execution timeline (see
@@ -227,6 +239,13 @@ func (s *System) takeTelemetrySample() {
 // but queue state, mode, and stats-backed fields are still filled — so
 // ErrStarved can embed a final snapshot from any run.
 func (s *System) buildTelemetrySnapshot() telemetry.Snapshot {
+	// Close every controller's deferred accounting through the current
+	// DRAM cycle so occupancy sums, residency counters and SampledCycles
+	// match what the per-cycle engine would have accumulated by this
+	// instant (a no-op under the tick engine and for ticked controllers).
+	for _, mc := range s.mcs {
+		mc.SyncTo(s.dramCycle)
+	}
 	snap := telemetry.Snapshot{
 		GPUCycle:  s.gpuCycle,
 		DRAMCycle: s.dramCycle,
@@ -343,6 +362,12 @@ func New(cfg config.Config, policy sched.PolicyFactory, descs []KernelDesc) (*Sy
 		s.EnableTelemetry(0, 0)
 	}
 	s.injectFn = s.inject
+	s.tickEngine = cfg.Engine == config.EngineTick
+	if !s.tickEngine {
+		s.kNext = make([]uint64, len(s.kernels))
+		s.mcNext = make([]uint64, len(s.mcs))
+		s.nocFaulty = s.flt != nil && s.flt.Schedule().NoCStallProb > 0
+	}
 	return s, nil
 }
 
@@ -451,6 +476,7 @@ func (s *System) injectNoC(smID int, r *request.Request) bool {
 func (s *System) scheduleResponse(r *request.Request, delay int) {
 	idx := (s.respIdx + delay) % len(s.respRing)
 	s.respRing[idx] = append(s.respRing[idx], r)
+	s.respCount++
 }
 
 func (s *System) deliverResponses() {
@@ -460,6 +486,7 @@ func (s *System) deliverResponses() {
 	// delay is >= 1 and < len(respRing), so nothing appends to this slot
 	// while due is being walked.
 	s.respRing[s.respIdx] = due[:0]
+	s.respCount -= len(due)
 	for _, r := range due {
 		s.completeForKernel(r)
 	}
@@ -476,11 +503,24 @@ func (s *System) completeForKernel(r *request.Request) {
 		for _, done := range s.l1[r.SM].Fill(r) {
 			s.st.Apps[done.App].Completed++
 			s.kernels[done.App].OnComplete(done, s.gpuCycle)
+			s.wakeKernel(done.App)
 		}
 		return
 	}
 	s.st.Apps[r.App].Completed++
 	s.kernels[r.App].OnComplete(r, s.gpuCycle)
+	s.wakeKernel(r.App)
+}
+
+// wakeKernel schedules an immediate tick for a kernel that just retired a
+// request: a completion can free a slot that was parked at its
+// outstanding cap, which the kernel's own NextEvent deliberately ignores.
+// Responses are delivered before the kernel loop of the same cycle, so
+// waking at the current cycle is exact.
+func (s *System) wakeKernel(app int) {
+	if s.kNext != nil && s.kNext[app] > s.gpuCycle {
+		s.kNext[app] = s.gpuCycle
+	}
 }
 
 // onDRAMComplete routes memory-controller completions: PIM ops retire to
@@ -615,8 +655,17 @@ func (s *System) drainToMCs() {
 				}
 				continue
 			}
+			// Close the controller's deferred accounting through the
+			// previous cycle before it stamps the arrival: the drain
+			// stage runs with the controller clock one behind the tick,
+			// and a skipped controller's clock may be further behind
+			// still. A no-op under the per-cycle engine.
+			mc.SyncTo(s.dramCycle - 1)
 			mc.Enqueue(q.Pop(vc))
 			q.Served(vc)
+			if s.mcNext != nil {
+				s.mcNext[ch] = s.dramCycle // new work: tick this cycle
+			}
 			if !head.Synthetic {
 				s.st.Apps[head.App].MCArrived++
 			}
@@ -625,7 +674,20 @@ func (s *System) drainToMCs() {
 	}
 }
 
-// step advances the system by one GPU cycle.
+// Starvation detection and cancellation cadence of RunContext: if no
+// kernel still on its first run makes progress for progressWindow GPU
+// cycles the run aborts as starved; both are evaluated every checkEvery
+// cycles. Package-scoped because the event engine's tryJump must land on
+// every checkEvery boundary so aborts happen at bit-identical cycles.
+const (
+	progressWindow = 400_000 // GPU cycles
+	checkEvery     = 4096
+)
+
+// step advances the system by one GPU cycle. It is the per-cycle
+// reference engine (config.EngineTick): every component ticks every
+// cycle. The event engine (stepEvent) must stay bit-identical to it —
+// the contract the differential harness pins.
 func (s *System) step() {
 	s.deliverResponses()
 	for _, k := range s.kernels {
@@ -654,6 +716,176 @@ func (s *System) step() {
 	if s.telEvery > 0 && s.gpuCycle%s.telEvery == 0 {
 		s.takeTelemetrySample() //pimlint:coldpath — epoch-gated sampling
 	}
+}
+
+// stepEvent advances the system under the next-event engine
+// (config.EngineEvent, the default): the same cycle skeleton as step,
+// but each component is ticked only at cycles its NextEvent method (or
+// an explicit wake on new work) proves it could change state, with the
+// per-cycle accounting of the skipped cycles reproduced in closed form.
+// When every queue in the system is quiescent, tryJump skips whole GPU
+// cycles at once. Every run observable — stats, samples, telemetry,
+// digests — is bit-identical to the reference engine.
+func (s *System) stepEvent() {
+	if s.tryJump() {
+		return
+	}
+	if s.respCount > 0 {
+		s.deliverResponses()
+	}
+	for i, k := range s.kernels {
+		if s.kNext[i] <= s.gpuCycle {
+			k.Tick(s.gpuCycle, s.injectFn)
+			s.kNext[i] = k.NextEvent(s.gpuCycle)
+		}
+	}
+	// The crossbar moves state only when input flits exist; an active
+	// link-stall schedule additionally draws the per-link RNG every
+	// cycle, so it forces per-cycle ticking to keep the stream aligned.
+	if s.nocFaulty || s.network.InFlits() > 0 {
+		s.network.Tick()
+	}
+	s.drainNoCOutputs()
+
+	s.dramAccum += s.cfg.Memory.ClockMHz
+	for s.dramAccum >= s.cfg.GPU.CoreClockMHz {
+		s.dramAccum -= s.cfg.GPU.CoreClockMHz
+		s.dramCycle++
+		s.drainToMCs()
+		for i, mc := range s.mcs {
+			if s.mcNext[i] <= s.dramCycle {
+				mc.Tick(s.dramCycle)
+				s.mcNext[i] = mc.NextEvent(s.dramCycle)
+			}
+		}
+	}
+
+	s.gpuCycle++
+	s.respIdx = (s.respIdx + 1) % len(s.respRing)
+	if s.sampleEvery > 0 && s.gpuCycle%s.sampleEvery == 0 {
+		s.takeSample() //pimlint:coldpath — epoch-gated sampling
+	}
+	if s.telEvery > 0 && s.gpuCycle%s.telEvery == 0 {
+		s.takeTelemetrySample() //pimlint:coldpath — epoch-gated sampling
+	}
+}
+
+// nextBoundary returns the smallest multiple of n strictly above g
+// (never for n == 0). The event engine may not jump across sampling,
+// telemetry, or progress-check boundaries — it lands on each and runs
+// the same epilogue the per-cycle engine runs there, so epoch series and
+// starvation aborts stay bit-identical.
+func nextBoundary(g, n uint64) uint64 {
+	if n == 0 {
+		return ^uint64(0)
+	}
+	return (g/n + 1) * n
+}
+
+// tryJump skips ahead over GPU cycles in which nothing in the system can
+// change: no response in flight, an empty interconnect, empty L2->DRAM
+// queues, every kernel's next issue in the future, and every controller's
+// next event beyond the DRAM cycles the jump would produce. It advances
+// gpuCycle/dramCycle/the clock-domain accumulator exactly as that many
+// step calls would, then runs the sampling epilogue at the landing cycle.
+// Returns false (having advanced nothing) when the system is busy or the
+// first actionable cycle is the current one.
+func (s *System) tryJump() bool {
+	if s.nocFaulty || s.network.InFlits() > 0 {
+		return false
+	}
+	// A response due this very cycle must be delivered by a live step.
+	if s.respCount > 0 && len(s.respRing[s.respIdx]) > 0 {
+		return false
+	}
+	// Earliest GPU cycle any kernel acts, capped so the jump lands on
+	// (never crosses) every epilogue boundary the per-cycle engine
+	// evaluates.
+	target := ^uint64(0)
+	for _, at := range s.kNext {
+		if at < target {
+			target = at
+		}
+	}
+	if b := nextBoundary(s.gpuCycle, s.sampleEvery); b < target {
+		target = b
+	}
+	if b := nextBoundary(s.gpuCycle, s.telEvery); b < target {
+		target = b
+	}
+	if b := nextBoundary(s.gpuCycle, checkEvery); b < target {
+		target = b
+	}
+	if s.respCount > 0 {
+		// Land on the cycle the earliest scheduled response is due, so
+		// the live step there delivers it. Slot k of the calendar ring is
+		// due k cycles from now; slot 0 was ruled out above.
+		n := len(s.respRing)
+		for k := 1; k < n; k++ {
+			if len(s.respRing[(s.respIdx+k)%n]) > 0 {
+				if c := s.gpuCycle + uint64(k); c < target {
+					target = c
+				}
+				break
+			}
+		}
+	}
+	if s.cfg.MaxGPUCycles < target {
+		target = s.cfg.MaxGPUCycles
+	}
+	if target <= s.gpuCycle {
+		return false
+	}
+	for ch := range s.l2 {
+		if s.network.Output(ch).Len() > 0 {
+			return false
+		}
+	}
+	for _, q := range s.l2dram {
+		if q.Len() > 0 {
+			return false
+		}
+	}
+	mcMin := ^uint64(0)
+	for _, at := range s.mcNext {
+		if at < mcMin {
+			mcMin = at
+		}
+	}
+	// Advance the clock-domain accumulator cycle by cycle (two integer
+	// ops per skipped cycle), stopping before any GPU cycle whose DRAM
+	// cycle reaches a controller's next event — that cycle runs live.
+	var jumped uint64
+	for jumped < target-s.gpuCycle {
+		acc := s.dramAccum + s.cfg.Memory.ClockMHz
+		d := s.dramCycle
+		ok := true
+		for acc >= s.cfg.GPU.CoreClockMHz {
+			if d+1 >= mcMin {
+				ok = false // this GPU cycle's DRAM cycle runs live
+				break
+			}
+			acc -= s.cfg.GPU.CoreClockMHz
+			d++
+		}
+		if !ok {
+			break
+		}
+		s.dramAccum, s.dramCycle = acc, d
+		jumped++
+	}
+	if jumped == 0 {
+		return false
+	}
+	s.gpuCycle += jumped
+	s.respIdx = (s.respIdx + int(jumped%uint64(len(s.respRing)))) % len(s.respRing)
+	if s.sampleEvery > 0 && s.gpuCycle%s.sampleEvery == 0 {
+		s.takeSample()
+	}
+	if s.telEvery > 0 && s.gpuCycle%s.telEvery == 0 {
+		s.takeTelemetrySample()
+	}
+	return true
 }
 
 // Run executes the co-execution protocol with no cancellation; see
@@ -688,8 +920,6 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	// cases). Kernels relaunched for contention don't count as
 	// progress, or a starved PIM kernel beside a looping GPU kernel
 	// would spin until the cycle limit.
-	const progressWindow = 400_000 // GPU cycles
-	const checkEvery = 4096
 	lastProgress := uint64(0)
 	firstRunCompleted := make([]int, len(s.kernels))
 	aborted := false
@@ -703,7 +933,11 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 			aborted = true
 			break
 		}
-		s.step()
+		if s.tickEngine {
+			s.step()
+		} else {
+			s.stepEvent()
+		}
 		if s.gpuCycle%checkEvery == 0 {
 			// Cancellation piggybacks on the progress-check cadence, so
 			// the hot loop pays one modulo it already paid.
@@ -747,6 +981,9 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 		for app, k := range s.kernels {
 			if k.RunDone() && !s.allFinished() {
 				k.Restart(s.gpuCycle)
+				if s.kNext != nil {
+					s.kNext[app] = 0 // fresh slots: tick immediately
+				}
 				if s.isPIM[app] {
 					// A fresh PIM kernel launch resets the
 					// register files and the block cursor; all
@@ -760,6 +997,11 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 		}
 	}
 
+	// Close deferred controller accounting through the final DRAM cycle
+	// before the stats are read (a no-op under the tick engine).
+	for _, mc := range s.mcs {
+		mc.SyncTo(s.dramCycle)
+	}
 	s.st.GPUCycles = s.gpuCycle
 	s.st.DRAMCycles = s.dramCycle
 	if s.tel != nil {

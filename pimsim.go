@@ -81,6 +81,19 @@ const (
 func PaperConfig() Config  { return config.Paper() }
 func ScaledConfig() Config { return config.Scaled() }
 
+// Engine selects the simulation core: the event-driven skip-ahead engine
+// (default) or the per-cycle reference engine it is proven equivalent to.
+type Engine = config.Engine
+
+// EngineEvent and EngineTick are the two simulation cores.
+const (
+	EngineEvent = config.EngineEvent
+	EngineTick  = config.EngineTick
+)
+
+// ParseEngine maps "event" (or "") and "tick" to the engine selector.
+func ParseEngine(s string) (Engine, error) { return config.ParseEngine(s) }
+
 // Policies returns the nine evaluated scheduling policy names in paper
 // order: fcfs, mem-first, pim-first, fr-fcfs, fr-fcfs-cap, bliss,
 // fr-rr-fcfs, gather-issue, f3fs.

@@ -1,0 +1,153 @@
+// Package nextevent enforces the skip-ahead scheduler's type contract
+// inside the deterministic simulator packages.
+//
+// NextEvent is the event engine's wake-time oracle: every component
+// exposes `NextEvent(now uint64) uint64` and the engine jumps the
+// global clock to the minimum of the returned cycles. The contract is
+// only sound in 64 bits — a narrowed return type or a narrowing
+// conversion applied to a returned cycle wraps silently once a long
+// campaign passes 2^32 cycles, and the engine then jumps backwards or
+// sleeps forever. The analyzer flags
+//
+//   - any NextEvent declaration (method, function, or interface
+//     method) whose result is not exactly one uint64, or whose `now`
+//     parameter is not uint64, and
+//   - explicit conversions to an integer type narrower than 64 bits
+//     whose operand mentions a NextEvent call.
+package nextevent
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/pimlint/analysis"
+	"repro/tools/pimlint/lintcfg"
+)
+
+// New builds the analyzer against a configuration (nil uses defaults).
+func New(cfg *lintcfg.Config) *analysis.Analyzer {
+	if cfg == nil {
+		cfg = lintcfg.Default()
+	}
+	return &analysis.Analyzer{
+		Name: "nextevent",
+		Doc: "enforce the NextEvent(now uint64) uint64 scheduler contract\n\n" +
+			"The event engine jumps to the minimum of the components' " +
+			"NextEvent results; a narrowed signature or a narrowing " +
+			"conversion on a returned cycle wraps past 2^32 cycles and " +
+			"corrupts the jump target. NextEvent must take and return " +
+			"uint64, and its result must stay in 64-bit arithmetic.",
+		Run: func(pass *analysis.Pass) (any, error) {
+			run(cfg, pass)
+			return nil, nil
+		},
+	}
+}
+
+func run(cfg *lintcfg.Config, pass *analysis.Pass) {
+	if !cfg.Deterministic(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				if node.Name.Name == "NextEvent" {
+					checkSignature(pass, node.Name)
+				}
+			case *ast.InterfaceType:
+				for _, m := range node.Methods.List {
+					for _, name := range m.Names {
+						if name.Name == "NextEvent" {
+							checkSignature(pass, name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkConversion(pass, node)
+			}
+			return true
+		})
+	}
+}
+
+// checkSignature resolves the declared NextEvent through go/types and
+// verifies the scheduler shape: one uint64 result, uint64 now.
+func checkSignature(pass *analysis.Pass, name *ast.Ident) {
+	fn, ok := pass.TypesInfo.Defs[name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if res := sig.Results(); res.Len() != 1 {
+		pass.Reportf(name.Pos(),
+			"NextEvent must return exactly one uint64 cycle, got %d results: the event engine takes the minimum over plain cycle values",
+			res.Len())
+	} else if !isUint64(res.At(0).Type()) {
+		pass.Reportf(name.Pos(),
+			"NextEvent must return uint64, got %s: a narrower cycle wraps within one long campaign and corrupts the jump target",
+			res.At(0).Type().String())
+	}
+	if params := sig.Params(); params.Len() >= 1 && !isUint64(params.At(0).Type()) {
+		pass.Reportf(name.Pos(),
+			"NextEvent must take the current cycle as uint64, got %s",
+			params.At(0).Type().String())
+	}
+}
+
+// checkConversion flags T(expr) where T is an integer type narrower
+// than 64 bits and expr mentions a NextEvent call — the returned cycle
+// must never leave 64-bit arithmetic.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	funTV, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !funTV.IsType() {
+		return
+	}
+	target, ok := funTV.Type.Underlying().(*types.Basic)
+	if !ok || target.Info()&types.IsInteger == 0 {
+		return
+	}
+	if target.Kind() == types.Int64 || target.Kind() == types.Uint64 {
+		return
+	}
+	if !mentionsNextEvent(call.Args[0]) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"narrowing conversion %s(...) truncates a NextEvent cycle: keep event-time arithmetic in 64 bits",
+		funTV.Type.String())
+}
+
+// mentionsNextEvent reports whether expr contains a call to anything
+// named NextEvent.
+func mentionsNextEvent(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch f := c.Fun.(type) {
+		case *ast.Ident:
+			found = f.Name == "NextEvent"
+		case *ast.SelectorExpr:
+			found = f.Sel.Name == "NextEvent"
+		}
+		return !found
+	})
+	return found
+}
+
+func isUint64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}

@@ -1,0 +1,25 @@
+package nextevent_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/tools/pimlint/analysis/analysistest"
+	"repro/tools/pimlint/analyzers/nextevent"
+	"repro/tools/pimlint/lintcfg"
+)
+
+func TestNextEvent(t *testing.T) {
+	cfg := &lintcfg.Config{
+		DeterministicPackages: []string{"nexteventtest"},
+	}
+	analysistest.Run(t, filepath.Join("testdata", "src", "nexteventtest"), nextevent.New(cfg), "nexteventtest")
+}
+
+// TestNextEventScope: outside the deterministic set the analyzer stays
+// silent even on off-contract signatures.
+func TestNextEventScope(t *testing.T) {
+	cfg := &lintcfg.Config{DeterministicPackages: []string{"nexteventtest"}}
+	dir := filepath.Join("..", "detmap", "testdata", "src", "scoped")
+	analysistest.Run(t, dir, nextevent.New(cfg), "scoped")
+}
