@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint fmt-check vulncheck test test-short test-race test-simdebug fuzz-short differential-smoke ci golden-fig8 faults-smoke bench bench-json figures examples clean
+.PHONY: all build vet lint fmt-check vulncheck test test-short test-race test-simdebug fuzz-short differential-smoke ci golden-fig8 faults-smoke serve-smoke bench bench-json figures examples clean
 
 all: build vet lint test
 
@@ -60,9 +60,9 @@ differential-smoke:
 
 # Mirror of .github/workflows/ci.yml: lint (gofmt + vet + pimlint),
 # build, full tests, race-shortened tests, simdebug assertions, short
-# fuzzing, the golden-figure smoke check, and the fault-injection
-# campaign smoke.
-ci: lint build test test-race test-simdebug fuzz-short differential-smoke golden-fig8 faults-smoke
+# fuzzing, the golden-figure smoke check, the fault-injection campaign
+# smoke, and the pimserve load/serve gate.
+ci: lint build test test-race test-simdebug fuzz-short differential-smoke golden-fig8 faults-smoke serve-smoke
 
 # Regenerate Fig. 8 on the golden subset and compare within tolerances
 # (the simulator is deterministic; this flags unintended model drift).
@@ -92,6 +92,17 @@ faults-smoke:
 		-run-timeout 5m | grep -q "0 combinations to run"
 	@echo "faults-smoke: resume cycle OK"
 
+# Load/serve gate for pimserve (docs/ARCHITECTURE.md, "Serving:
+# pimserve"): build the daemon and load generator, then run the
+# in-process smoke — boot the server on loopback, fire the short mixed
+# hot/cold/priority load profile under the race detector, and assert no
+# failed requests, byte-identical responses per digest across cache hits
+# and misses, a >= 0.90 cache hit rate on the 95%-duplicate stream, and
+# no goroutine leaks after graceful shutdown.
+serve-smoke:
+	go build ./cmd/pimserve ./cmd/pimload
+	go test -race -count=1 -v -run 'TestServeSmoke' ./internal/serve/
+
 # One benchmark per paper table/figure, with custom metrics.
 bench:
 	go test -bench=. -benchmem -run XXX .
@@ -99,11 +110,14 @@ bench:
 # Machine-readable benchmark artifact: run the paper benchmarks, parse
 # the text output into BENCH_6.json (docs/PERFORMANCE.md). CI runs this
 # with BENCHTIME=10x and uploads the file; the committed copy is the
-# tracked baseline.
+# tracked baseline. BENCH_latest.json is a stable-name copy so consumers
+# (and the CI upload glob) don't have to track the numbered filename.
 BENCHTIME ?= 1x
+BENCH_FILE ?= BENCH_6.json
 bench-json:
 	go test -run '^$$' -bench=. -benchtime=$(BENCHTIME) -benchmem . | tee bench_output.txt
-	go run ./cmd/benchjson -o BENCH_6.json bench_output.txt
+	go run ./cmd/benchjson -o $(BENCH_FILE) bench_output.txt
+	cp $(BENCH_FILE) BENCH_latest.json
 
 # Regenerate every figure at the quick scale (see EXPERIMENTS.md).
 figures:
@@ -123,4 +137,4 @@ examples:
 	go run ./examples/fft
 
 clean:
-	rm -rf results/ test_output.txt bench_output.txt
+	rm -rf results/ test_output.txt bench_output.txt BENCH_latest.json

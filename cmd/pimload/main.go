@@ -1,0 +1,69 @@
+// Command pimload fires a reproducible mixed load (hot duplicates, cold
+// unique configs, interactive and bulk priorities) at a running pimserve
+// instance and reports throughput, cache effectiveness and result
+// consistency. CI's serve-smoke gate runs the same checks in-process;
+// this binary exists for poking at a live daemon.
+//
+// Usage:
+//
+//	pimload -url http://127.0.0.1:8731 -n 600 -c 24 -dup 0.95
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/serve/loadgen"
+)
+
+func main() {
+	short := loadgen.Short()
+	var (
+		baseURL = flag.String("url", "http://127.0.0.1:8731", "pimserve base URL")
+		n       = flag.Int("n", short.Requests, "total requests")
+		c       = flag.Int("c", short.Concurrency, "client concurrency")
+		dup     = flag.Float64("dup", short.DupFraction, "duplicate (hot-set) fraction")
+		hot     = flag.Int("hot", short.HotSet, "distinct hot configurations")
+		bulk    = flag.Float64("bulk", short.BulkFraction, "bulk-priority fraction")
+		scale   = flag.Float64("scale", short.Scale, "workload scale per request")
+		cycles  = flag.Uint64("max-gpu-cycles", short.MaxGPUCycles, "per-request cycle bound (0 = server default)")
+		seed    = flag.Int64("seed", short.Seed, "schedule seed")
+		minHit  = flag.Float64("min-hit-rate", -1, "fail below this cache hit rate (<0 = no check)")
+	)
+	flag.Parse()
+
+	p := loadgen.Profile{
+		Requests:     *n,
+		Concurrency:  *c,
+		DupFraction:  *dup,
+		HotSet:       *hot,
+		BulkFraction: *bulk,
+		Scale:        *scale,
+		MaxGPUCycles: *cycles,
+		TimeoutMS:    short.TimeoutMS,
+		Seed:         *seed,
+	}
+	rep, err := loadgen.Run(context.Background(), nil, *baseURL, p)
+	if err != nil {
+		log.Fatalf("pimload: %v", err)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+
+	switch {
+	case rep.Failed > 0:
+		log.Fatalf("pimload: %d requests failed", rep.Failed)
+	case rep.Mismatches > 0:
+		log.Fatalf("pimload: %d digests returned non-identical results", rep.Mismatches)
+	case *minHit >= 0 && rep.HitRate < *minHit:
+		log.Fatalf("pimload: cache hit rate %.3f below required %.3f", rep.HitRate, *minHit)
+	}
+	fmt.Fprintf(os.Stderr, "pimload: ok — %d requests, %.1f rps, hit rate %.3f\n",
+		rep.Succeeded, rep.RPS, rep.HitRate)
+}

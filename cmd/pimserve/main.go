@@ -1,0 +1,77 @@
+// Command pimserve exposes the simulator as a service: an HTTP/JSON
+// daemon running simulation requests on a bounded worker pool with a
+// priority queue and a content-addressed result cache. See
+// docs/ARCHITECTURE.md ("Serving: pimserve") for the API.
+//
+// Usage:
+//
+//	pimserve -addr 127.0.0.1:8731 -workers 8 -cache 4096
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8731", "listen address")
+		workers     = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		cacheSize   = flag.Int("cache", 4096, "result cache entries")
+		runTimeout  = flag.Duration("run-timeout", 5*time.Minute, "per-simulation timeout")
+		jobTimeout  = flag.Duration("job-timeout", 10*time.Minute, "per-job timeout ceiling")
+		maxScale    = flag.Float64("max-scale", 1.0, "largest accepted workload scale")
+		maxJobs     = flag.Int("max-jobs", 16384, "retained finished job records")
+		sampleEvery = flag.Uint64("sample-interval", 2048, "progress sampler epoch (GPU cycles)")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		Workers:        *workers,
+		CacheEntries:   *cacheSize,
+		RunTimeout:     *runTimeout,
+		JobTimeout:     *jobTimeout,
+		MaxScale:       *maxScale,
+		MaxJobs:        *maxJobs,
+		SampleInterval: *sampleEvery,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("pimserve: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "pimserve: listening on http://%s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "pimserve: %v, shutting down\n", sig)
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("pimserve: %v", err)
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("pimserve: http shutdown: %v", err)
+	}
+	srv.Close()
+}

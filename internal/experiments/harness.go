@@ -99,6 +99,9 @@ func (r *Runner) runSystem(ctx context.Context, cfg config.Config, sys *sim.Syst
 			res, err = nil, re
 		}
 	}()
+	if r.Observe != nil {
+		r.Observe(id.What, sys)
+	}
 	res, err = sys.RunContext(ctx)
 	if err != nil {
 		var ie *sim.ErrInterrupted

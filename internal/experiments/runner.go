@@ -54,6 +54,13 @@ type Runner struct {
 	// off: CompetitiveCtx returns journaled "done" pairs without
 	// re-simulating.
 	Journal *Journal
+	// Observe, when non-nil, receives every System the runner builds,
+	// immediately before it runs, labeled with the run's role
+	// ("competitive", "standalone-gpu", "standalone-pim", ...). pimserve
+	// uses it to attach per-job telemetry for progress streaming. The
+	// callback must not retain sys past the run and must be safe for
+	// concurrent calls when Parallel > 1.
+	Observe func(what string, sys *sim.System)
 
 	// Standalone baselines are cached in single-flight cells: the first
 	// caller for a key computes inside the cell's once while later
@@ -162,23 +169,63 @@ func (r *Runner) pimCell(id string) *standaloneCell {
 	return c
 }
 
+// dropGPUCell forgets a single-flight baseline cell (if the map still
+// holds that exact cell), so a computation that died on a context
+// cancellation or deadline does not poison the cache for later callers.
+func (r *Runner) dropGPUCell(id string, n int, c *standaloneCell) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := gpuKey{id: id, sms: n}
+	if r.aloneGPU[k] == c {
+		delete(r.aloneGPU, k)
+	}
+}
+
+func (r *Runner) dropPIMCell(id string, c *standaloneCell) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.alonePIM[id] == c {
+		delete(r.alonePIM, id)
+	}
+}
+
+// ctxErrLike reports whether err stems from a cancellation or deadline
+// (directly or through a RunError/ErrInterrupted chain).
+func ctxErrLike(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // StandaloneGPU runs (and caches) GPU kernel id alone on every SM.
 func (r *Runner) StandaloneGPU(id string) (Standalone, error) {
 	return r.StandaloneGPUOn(id, r.Cfg.GPU.NumSMs)
+}
+
+// StandaloneGPUCtx is StandaloneGPU bounded by ctx; a run interrupted by
+// the context surfaces the cancellation and is retried by later callers
+// instead of staying cached as a failure.
+func (r *Runner) StandaloneGPUCtx(ctx context.Context, id string) (Standalone, error) {
+	return r.standaloneGPUOnCtx(ctx, id, r.Cfg.GPU.NumSMs)
 }
 
 // StandaloneGPUOn runs (and caches) GPU kernel id alone on n SMs (the
 // GPU-8 and 72-SM configurations of Figs. 4 and 5). Concurrent callers
 // for the same (id, n) share one computation.
 func (r *Runner) StandaloneGPUOn(id string, n int) (Standalone, error) {
+	return r.standaloneGPUOnCtx(context.Background(), id, n)
+}
+
+func (r *Runner) standaloneGPUOnCtx(ctx context.Context, id string, n int) (Standalone, error) {
 	c := r.gpuCell(id, n)
 	c.once.Do(func() {
-		c.s, c.err = r.computeStandaloneGPU(id, n)
+		c.s, c.err = r.computeStandaloneGPU(ctx, id, n)
 	})
+	if c.err != nil && ctxErrLike(c.err) {
+		r.dropGPUCell(id, n, c)
+	}
 	return c.s, c.err
 }
 
-func (r *Runner) computeStandaloneGPU(id string, n int) (Standalone, error) {
+func (r *Runner) computeStandaloneGPU(ctx context.Context, id string, n int) (Standalone, error) {
 	prof, err := workload.GPUProfileByID(id)
 	if err != nil {
 		return Standalone{}, err
@@ -190,7 +237,7 @@ func (r *Runner) computeStandaloneGPU(id string, n int) (Standalone, error) {
 	if err != nil {
 		return Standalone{}, err
 	}
-	res, err := r.runSystem(context.Background(), cfg, sys, runID{GPUID: id, What: "standalone-gpu"})
+	res, err := r.runSystem(ctx, cfg, sys, runID{GPUID: id, What: "standalone-gpu"})
 	if err != nil {
 		return Standalone{}, err
 	}
@@ -203,14 +250,23 @@ func (r *Runner) computeStandaloneGPU(id string, n int) (Standalone, error) {
 // StandalonePIM runs (and caches) PIM kernel id alone on the PIM SMs.
 // Concurrent callers for the same id share one computation.
 func (r *Runner) StandalonePIM(id string) (Standalone, error) {
+	return r.StandalonePIMCtx(context.Background(), id)
+}
+
+// StandalonePIMCtx is StandalonePIM bounded by ctx; a run interrupted by
+// the context surfaces the cancellation and is retried by later callers.
+func (r *Runner) StandalonePIMCtx(ctx context.Context, id string) (Standalone, error) {
 	c := r.pimCell(id)
 	c.once.Do(func() {
-		c.s, c.err = r.computeStandalonePIM(id)
+		c.s, c.err = r.computeStandalonePIM(ctx, id)
 	})
+	if c.err != nil && ctxErrLike(c.err) {
+		r.dropPIMCell(id, c)
+	}
 	return c.s, c.err
 }
 
-func (r *Runner) computeStandalonePIM(id string) (Standalone, error) {
+func (r *Runner) computeStandalonePIM(ctx context.Context, id string) (Standalone, error) {
 	prof, err := workload.PIMProfileByID(id)
 	if err != nil {
 		return Standalone{}, err
@@ -223,7 +279,7 @@ func (r *Runner) computeStandalonePIM(id string) (Standalone, error) {
 	if err != nil {
 		return Standalone{}, err
 	}
-	res, err := r.runSystem(context.Background(), cfg, sys, runID{PIMID: id, What: "standalone-pim"})
+	res, err := r.runSystem(ctx, cfg, sys, runID{PIMID: id, What: "standalone-pim"})
 	if err != nil {
 		return Standalone{}, err
 	}
@@ -299,11 +355,11 @@ func (r *Runner) CompetitiveCtx(ctx context.Context, gpuID, pimID, policy string
 	if err := ctx.Err(); err != nil {
 		return Pair{}, err
 	}
-	gAlone, err := r.StandaloneGPU(gpuID)
+	gAlone, err := r.StandaloneGPUCtx(ctx, gpuID)
 	if err != nil {
 		return Pair{}, err
 	}
-	pAlone, err := r.StandalonePIM(pimID)
+	pAlone, err := r.StandalonePIMCtx(ctx, pimID)
 	if err != nil {
 		return Pair{}, err
 	}

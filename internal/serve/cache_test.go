@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestCacheMissHitJoin(t *testing.T) {
+	c := NewCache(8, telemetry.NewRegistry())
+
+	e, out := c.Lookup("d1")
+	if out != OutcomeMiss {
+		t.Fatalf("first lookup: outcome %v, want miss", out)
+	}
+
+	// A second lookup while in flight joins.
+	e2, out := c.Lookup("d1")
+	if out != OutcomeJoin || e2 != e {
+		t.Fatalf("in-flight lookup: outcome %v entry match %v, want join on same entry", out, e2 == e)
+	}
+
+	c.Fulfill(e, []byte("r1"))
+	if data, err := e2.Wait(context.Background()); err != nil || string(data) != "r1" {
+		t.Fatalf("joined Wait = %q, %v", data, err)
+	}
+
+	e3, out := c.Lookup("d1")
+	if out != OutcomeHit || string(e3.Result()) != "r1" {
+		t.Fatalf("post-fulfill lookup: outcome %v result %q", out, e3.Result())
+	}
+
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Joins != 1 || s.Entries != 1 || s.Inflight != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if want := 2.0 / 3.0; s.HitRate < want-1e-9 || s.HitRate > want+1e-9 {
+		t.Fatalf("hit rate %v, want %v", s.HitRate, want)
+	}
+}
+
+func TestCacheAbandonIsNotCached(t *testing.T) {
+	c := NewCache(8, telemetry.NewRegistry())
+	e, _ := c.Lookup("d1")
+
+	errs := make(chan error, 1)
+	go func() {
+		_, err := e.Wait(context.Background())
+		errs <- err
+	}()
+	boom := errors.New("boom")
+	c.Abandon(e, boom)
+	if err := <-errs; !errors.Is(err, boom) {
+		t.Fatalf("joined waiter got %v, want %v", err, boom)
+	}
+
+	// The failure was not cached: the next lookup owns a fresh entry.
+	e2, out := c.Lookup("d1")
+	if out != OutcomeMiss || e2 == e {
+		t.Fatalf("lookup after abandon: outcome %v fresh %v, want a fresh miss", out, e2 != e)
+	}
+	c.Fulfill(e2, []byte("ok"))
+	if _, out := c.Lookup("d1"); out != OutcomeHit {
+		t.Fatalf("lookup after recompute: outcome %v, want hit", out)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(2, telemetry.NewRegistry())
+	for i := 0; i < 3; i++ {
+		e, out := c.Lookup(fmt.Sprintf("d%d", i))
+		if out != OutcomeMiss {
+			t.Fatalf("d%d: outcome %v", i, out)
+		}
+		c.Fulfill(e, []byte{byte(i)})
+	}
+	// d0 is the LRU victim; d1 and d2 survive.
+	if _, out := c.Lookup("d0"); out != OutcomeMiss {
+		t.Fatalf("d0 survived eviction (outcome %v)", out)
+	}
+	// That miss created an in-flight entry; resolve it.
+	c.Abandon(c.entries["d0"], errors.New("unused"))
+	if _, out := c.Lookup("d1"); out != OutcomeHit {
+		t.Fatalf("d1 evicted early (outcome %v)", out)
+	}
+	if _, out := c.Lookup("d2"); out != OutcomeHit {
+		t.Fatalf("d2 evicted early (outcome %v)", out)
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction / 2 entries", s)
+	}
+}
+
+func TestCacheWaitHonorsContext(t *testing.T) {
+	c := NewCache(2, telemetry.NewRegistry())
+	e, _ := c.Lookup("d1")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := e.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait on unresolved entry = %v, want deadline exceeded", err)
+	}
+	c.Abandon(e, errors.New("cleanup"))
+}
+
+// TestCacheSingleFlightConcurrent hammers one digest from many
+// goroutines: exactly one owns the computation, everyone converges on
+// the same bytes.
+func TestCacheSingleFlightConcurrent(t *testing.T) {
+	c := NewCache(8, telemetry.NewRegistry())
+	const n = 64
+	var owners int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, out := c.Lookup("hot")
+			switch out {
+			case OutcomeMiss:
+				mu.Lock()
+				owners++
+				mu.Unlock()
+				time.Sleep(time.Millisecond) // widen the in-flight window
+				c.Fulfill(e, []byte("value"))
+				results[i] = e.Result()
+			default:
+				data, err := e.Wait(context.Background())
+				if err != nil {
+					t.Errorf("waiter %d: %v", i, err)
+					return
+				}
+				results[i] = data
+			}
+		}(i)
+	}
+	wg.Wait()
+	if owners != 1 {
+		t.Fatalf("%d owners for one digest, want exactly 1", owners)
+	}
+	for i, r := range results {
+		if string(r) != "value" {
+			t.Fatalf("goroutine %d saw %q", i, r)
+		}
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits+s.Joins != n-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits+joins", s, n-1)
+	}
+}

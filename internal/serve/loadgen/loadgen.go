@@ -1,0 +1,273 @@
+// Package loadgen drives a pimserve instance with a reproducible mixed
+// workload — hot duplicates, cold unique configs, interactive and bulk
+// priorities — and checks the service invariants the CI gate enforces:
+// no failures, byte-identical results per digest across cache hits and
+// misses, and a cache hit rate matching the duplicate fraction.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Profile shapes a load run. The schedule it generates is a pure
+// function of the profile (all randomness flows from Seed), so two runs
+// against equivalent servers issue the same requests in the same order.
+type Profile struct {
+	// Requests is the total request count.
+	Requests int
+	// Concurrency is the number of client goroutines.
+	Concurrency int
+	// DupFraction in [0,1] is the fraction of requests drawn from the
+	// hot set (duplicates of each other); the rest get unique seeds.
+	DupFraction float64
+	// HotSet bounds the number of distinct hot configurations.
+	HotSet int
+	// BulkFraction in [0,1] is the fraction submitted at bulk priority.
+	BulkFraction float64
+	// Scale is the workload scale of every request.
+	Scale float64
+	// MaxGPUCycles bounds each simulation (0 = server-side default).
+	MaxGPUCycles uint64
+	// TimeoutMS is the per-job timeout sent with each request.
+	TimeoutMS int64
+	// Seed drives the schedule's RNG.
+	Seed int64
+}
+
+// Short returns the CI smoke profile: small enough to finish in tens of
+// seconds under -race, large enough to exercise dedup, priorities and
+// eviction-free steady state.
+func Short() Profile {
+	return Profile{
+		Requests:     600,
+		Concurrency:  24,
+		DupFraction:  0.95,
+		HotSet:       12,
+		BulkFraction: 0.3,
+		Scale:        0.02,
+		MaxGPUCycles: 2_500_000,
+		TimeoutMS:    120_000,
+		Seed:         1,
+	}
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.Requests <= 0 {
+		p.Requests = 100
+	}
+	if p.Concurrency <= 0 {
+		p.Concurrency = 8
+	}
+	if p.HotSet <= 0 {
+		p.HotSet = 8
+	}
+	if p.Scale <= 0 {
+		p.Scale = 0.02
+	}
+	return p
+}
+
+// hot configuration space the generator draws from.
+var (
+	hotGPUs     = []string{"G4", "G8", "G17"}
+	hotPIMs     = []string{"P1", "P2"}
+	hotPolicies = []string{"fcfs", "fr-fcfs", "f3fs"}
+	hotModes    = []string{"VC1", "VC2"}
+)
+
+// BuildSchedule expands a profile into its deterministic request list.
+// Requests[i] is identical across calls with the same profile.
+func BuildSchedule(p Profile) []serve.Request {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	hot := make([]serve.Request, 0, p.HotSet)
+	for i := 0; len(hot) < p.HotSet; i++ {
+		hot = append(hot, serve.Request{
+			Kind:         serve.KindCompetitive,
+			GPU:          hotGPUs[i%len(hotGPUs)],
+			PIM:          hotPIMs[(i/len(hotGPUs))%len(hotPIMs)],
+			Policy:       hotPolicies[(i/(len(hotGPUs)*len(hotPIMs)))%len(hotPolicies)],
+			Mode:         hotModes[(i/(len(hotGPUs)*len(hotPIMs)*len(hotPolicies)))%len(hotModes)],
+			Scale:        p.Scale,
+			MaxGPUCycles: p.MaxGPUCycles,
+			TimeoutMS:    p.TimeoutMS,
+		})
+	}
+
+	reqs := make([]serve.Request, p.Requests)
+	for i := range reqs {
+		if rng.Float64() < p.DupFraction {
+			reqs[i] = hot[rng.Intn(len(hot))]
+		} else {
+			// Cold request: a hot shape with a unique seed, so it costs
+			// the same to simulate but can never share a digest.
+			r := hot[rng.Intn(len(hot))]
+			r.Seed = 1000 + int64(i)
+			reqs[i] = r
+		}
+		if rng.Float64() < p.BulkFraction {
+			reqs[i].Priority = serve.PriorityBulk
+		} else {
+			reqs[i].Priority = serve.PriorityInteractive
+		}
+	}
+	return reqs
+}
+
+// Report summarizes a load run.
+type Report struct {
+	Requests      int `json:"requests"`
+	Succeeded     int `json:"succeeded"`
+	Failed        int `json:"failed"`
+	CacheServed   int `json:"cache_served"`
+	UniqueDigests int `json:"unique_digests"`
+	// Mismatches counts digests whose responses were not byte-identical
+	// across all requests that produced them — always 0 on a healthy
+	// deterministic server.
+	Mismatches int           `json:"mismatches"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	RPS        float64       `json:"rps"`
+	// HitRate is the server-reported cache hit rate after the run.
+	HitRate float64 `json:"hit_rate"`
+	// Errors holds the first few failure messages for diagnosis.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Run fires the profile's schedule at baseURL with p.Concurrency client
+// goroutines, each POSTing /v1/simulate?wait=1, and cross-checks every
+// response against all other responses for the same digest.
+func Run(ctx context.Context, client *http.Client, baseURL string, p Profile) (Report, error) {
+	p = p.withDefaults()
+	if client == nil {
+		client = http.DefaultClient
+	}
+	reqs := BuildSchedule(p)
+
+	var (
+		mu       sync.Mutex
+		rep      Report
+		byDigest = map[string][]byte{}
+		mismatch = map[string]bool{}
+	)
+	rep.Requests = len(reqs)
+
+	work := make(chan serve.Request)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < p.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range work {
+				view, err := post(ctx, client, baseURL, req)
+				mu.Lock()
+				switch {
+				case err != nil:
+					rep.Failed++
+					if len(rep.Errors) < 5 {
+						rep.Errors = append(rep.Errors, err.Error())
+					}
+				case view.Status != "done":
+					rep.Failed++
+					if len(rep.Errors) < 5 {
+						rep.Errors = append(rep.Errors,
+							fmt.Sprintf("job %s: status %s: %s", view.ID, view.Status, view.Error))
+					}
+				default:
+					rep.Succeeded++
+					if view.Cached {
+						rep.CacheServed++
+					}
+					if prev, ok := byDigest[view.Digest]; !ok {
+						byDigest[view.Digest] = view.Result
+					} else if !bytes.Equal(prev, view.Result) {
+						mismatch[view.Digest] = true
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, req := range reqs {
+		select {
+		case work <- req:
+		case <-ctx.Done():
+			close(work)
+			wg.Wait()
+			return rep, ctx.Err()
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	rep.Elapsed = time.Since(start)
+	rep.UniqueDigests = len(byDigest)
+	rep.Mismatches = len(mismatch)
+	if s := rep.Elapsed.Seconds(); s > 0 {
+		rep.RPS = float64(rep.Succeeded) / s
+	}
+
+	var metrics serve.Metrics
+	if err := getJSON(ctx, client, baseURL+"/metrics", &metrics); err != nil {
+		return rep, fmt.Errorf("loadgen: fetch metrics: %w", err)
+	}
+	rep.HitRate = metrics.Cache.HitRate
+	return rep, nil
+}
+
+func post(ctx context.Context, client *http.Client, baseURL string, req serve.Request) (serve.JobView, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serve.JobView{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		baseURL+"/v1/simulate?wait=1", bytes.NewReader(body))
+	if err != nil {
+		return serve.JobView{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return serve.JobView{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return serve.JobView{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return serve.JobView{}, fmt.Errorf("POST /v1/simulate: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	var view serve.JobView
+	if err := json.Unmarshal(data, &view); err != nil {
+		return serve.JobView{}, err
+	}
+	return view, nil
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, v any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

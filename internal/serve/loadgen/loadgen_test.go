@@ -1,0 +1,65 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestBuildScheduleDeterministic: the schedule is a pure function of the
+// profile, so repeated builds are identical — the property that makes
+// load runs comparable across machines and CI runs.
+func TestBuildScheduleDeterministic(t *testing.T) {
+	p := Short()
+	a := BuildSchedule(p)
+	b := BuildSchedule(p)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("BuildSchedule is not deterministic for a fixed profile")
+	}
+
+	p2 := p
+	p2.Seed++
+	c := BuildSchedule(p2)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("BuildSchedule ignores the profile seed")
+	}
+}
+
+func TestBuildScheduleShape(t *testing.T) {
+	p := Short()
+	reqs := BuildSchedule(p)
+	if len(reqs) != p.Requests {
+		t.Fatalf("schedule has %d requests, want %d", len(reqs), p.Requests)
+	}
+
+	var cold, bulk int
+	digests := map[string]bool{}
+	for i, r := range reqs {
+		if r.Seed != 0 {
+			cold++
+		}
+		if r.Priority == serve.PriorityBulk {
+			bulk++
+		}
+		c, err := serve.Canonicalize(r)
+		if err != nil {
+			t.Fatalf("request %d does not canonicalize: %v", i, err)
+		}
+		digests[c.Digest()] = true
+	}
+
+	// Roughly DupFraction of requests duplicate the hot set; the rest
+	// carry unique seeds. Allow generous slack around the expectation.
+	wantCold := float64(p.Requests) * (1 - p.DupFraction)
+	if float64(cold) < wantCold*0.4 || float64(cold) > wantCold*2.5 {
+		t.Errorf("%d cold requests, expected about %.0f", cold, wantCold)
+	}
+	if bulk == 0 || bulk == p.Requests {
+		t.Errorf("bulk mix degenerate: %d of %d", bulk, p.Requests)
+	}
+	// Unique digests = hot set + one per cold request.
+	if want := p.HotSet + cold; len(digests) != want {
+		t.Errorf("%d unique digests, want %d (hot %d + cold %d)", len(digests), want, p.HotSet, cold)
+	}
+}

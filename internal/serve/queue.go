@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Class is a job's priority class.
+type Class int
+
+const (
+	// ClassInteractive jobs (single-cell probes) always dequeue ahead of
+	// bulk traffic.
+	ClassInteractive Class = iota
+	// ClassBulk jobs (sweep/campaign traffic) run when no interactive
+	// work is queued.
+	ClassBulk
+)
+
+// String names the class as the API spells it.
+func (c Class) String() string {
+	if c == ClassBulk {
+		return PriorityBulk
+	}
+	return PriorityInteractive
+}
+
+// jobFIFO is an amortized O(1) pop-front queue.
+type jobFIFO struct {
+	buf  []*Job
+	head int
+}
+
+func (f *jobFIFO) push(j *Job) { f.buf = append(f.buf, j) }
+
+func (f *jobFIFO) pop() *Job {
+	if f.head == len(f.buf) {
+		return nil
+	}
+	j := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head++
+	if f.head > 64 && f.head*2 > len(f.buf) {
+		f.buf = append(f.buf[:0], f.buf[f.head:]...)
+		f.head = 0
+	}
+	return j
+}
+
+func (f *jobFIFO) len() int { return len(f.buf) - f.head }
+
+// queue is the two-class priority job queue feeding the worker pool:
+// strict priority between classes, FIFO within a class. Close switches
+// it to drain mode — Pop keeps returning queued jobs until empty, then
+// reports closed — so shutdown marks every queued job instead of
+// leaking it.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	cls    [2]jobFIFO
+
+	enqueued *telemetry.Counter
+	dequeued *telemetry.Counter
+	depth    [2]*telemetry.Gauge
+}
+
+func newQueue(reg *telemetry.Registry) *queue {
+	q := &queue{
+		enqueued: reg.Counter("serve/queue_enqueued"),
+		dequeued: reg.Counter("serve/queue_dequeued"),
+		depth: [2]*telemetry.Gauge{
+			reg.Gauge("serve/queue_interactive_depth"),
+			reg.Gauge("serve/queue_bulk_depth"),
+		},
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a job; it reports false after Close.
+func (q *queue) Push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.cls[j.Class].push(j)
+	q.enqueued.Inc()
+	q.depth[j.Class].Set(int64(q.cls[j.Class].len()))
+	q.cond.Signal()
+	return true
+}
+
+// Pop blocks for the next job, interactive first. After Close it drains
+// the remaining jobs and then reports ok == false.
+func (q *queue) Pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for cls := range q.cls {
+			if j := q.cls[cls].pop(); j != nil {
+				q.dequeued.Inc()
+				q.depth[cls].Set(int64(q.cls[cls].len()))
+				return j, true
+			}
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// Close stops accepting jobs and wakes every blocked Pop.
+func (q *queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Depths returns the instantaneous per-class backlog.
+func (q *queue) Depths() (interactive, bulk int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.cls[ClassInteractive].len(), q.cls[ClassBulk].len()
+}

@@ -1,0 +1,532 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Options configure a Server; zero values pick the documented defaults.
+type Options struct {
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the completed-result cache (default 4096).
+	CacheEntries int
+	// RunTimeout bounds each individual simulation inside a job,
+	// reusing the campaign hardening (default 5m).
+	RunTimeout time.Duration
+	// JobTimeout bounds a whole job — queue wait plus every simulation
+	// it needs (default 10m). Requests may shorten it per job.
+	JobTimeout time.Duration
+	// MaxScale rejects requests asking for larger workloads (default 1.0).
+	MaxScale float64
+	// MaxJobs bounds retained finished job records (default 16384).
+	MaxJobs int
+	// SampleInterval is the telemetry epoch, in GPU cycles, of the
+	// per-job progress sampler (default 2048).
+	SampleInterval uint64
+	// StreamInterval is the SSE progress cadence (default 100ms).
+	StreamInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 4096
+	}
+	if o.RunTimeout <= 0 {
+		o.RunTimeout = 5 * time.Minute
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 10 * time.Minute
+	}
+	if o.MaxScale <= 0 {
+		o.MaxScale = 1.0
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 16384
+	}
+	if o.StreamInterval <= 0 {
+		o.StreamInterval = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Server is the pimserve core: a bounded worker pool draining the
+// priority queue, the content-addressed result cache, and the job
+// registry. Wrap Handler in an http.Server (cmd/pimserve does) or an
+// httptest server.
+type Server struct {
+	opts  Options
+	cache *Cache
+	q     *queue
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // terminal job IDs in completion order, for retention
+	seq      uint64
+	closed   bool
+
+	reg          *telemetry.Registry
+	jobsCreated  *telemetry.Counter
+	jobsDone     *telemetry.Counter
+	jobsFailed   *telemetry.Counter
+	jobsCanceled *telemetry.Counter
+	jobsCached   *telemetry.Counter
+	workersBusy  *telemetry.Gauge
+	start        time.Time
+}
+
+// New builds a Server and starts its worker pool. Close releases it.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	reg := telemetry.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:   opts,
+		cache:  NewCache(opts.CacheEntries, reg),
+		q:      newQueue(reg),
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   make(map[string]*Job),
+
+		reg:          reg,
+		jobsCreated:  reg.Counter("serve/jobs_created"),
+		jobsDone:     reg.Counter("serve/jobs_done"),
+		jobsFailed:   reg.Counter("serve/jobs_failed"),
+		jobsCanceled: reg.Counter("serve/jobs_canceled"),
+		jobsCached:   reg.Counter("serve/jobs_cached"),
+		workersBusy:  reg.Gauge("serve/workers_busy"),
+		start:        time.Now(),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the server: cancels every job context, drains the queue
+// (queued jobs finish as canceled), and waits for the workers and join
+// waiters to exit. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	s.cancel()
+	s.q.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.q.Pop()
+		if !ok {
+			return
+		}
+		s.workersBusy.Add(1)
+		s.runJob(j)
+		s.workersBusy.Add(-1)
+	}
+}
+
+// runJob executes an owned (cache-miss) job and resolves its cache
+// entry.
+func (s *Server) runJob(j *Job) {
+	if err := j.ctx.Err(); err != nil {
+		// Canceled or timed out while queued.
+		s.cache.Abandon(j.entry, err)
+		s.finishJob(j, nil, false, err)
+		return
+	}
+	j.setRunning("")
+	data, err := s.execute(j)
+	if err != nil {
+		s.cache.Abandon(j.entry, err)
+		s.finishJob(j, nil, false, err)
+		return
+	}
+	s.cache.Fulfill(j.entry, data)
+	s.finishJob(j, data, false, nil)
+}
+
+// execute runs the simulations a job needs through a job-private
+// experiment runner (no state shared across requests beyond the result
+// cache) and returns the canonical result bytes.
+func (s *Server) execute(j *Job) ([]byte, error) {
+	c := j.Canon
+	cfg := c.Cfg
+	cfg.Engine = c.Engine
+	r := experiments.NewRunner(cfg, c.Scale)
+	r.RunTimeout = s.opts.RunTimeout
+	r.Observe = func(what string, sys *sim.System) {
+		j.setStage(what)
+		// A small ring is plenty: the stream only reads the latest epoch.
+		j.setCollector(sys.EnableTelemetry(s.opts.SampleInterval, 64))
+	}
+
+	res := Result{
+		Digest: j.Digest,
+		Kind:   c.Kind,
+		GPU:    c.GPUID,
+		PIM:    c.PIMID,
+		Policy: c.Policy,
+		Mode:   c.Mode,
+		Scale:  c.Scale,
+	}
+	switch c.Kind {
+	case KindCompetitive:
+		pair, err := r.CompetitiveCtx(j.ctx, c.GPUID, c.PIMID, c.Policy, c.VCMode())
+		if err != nil {
+			return nil, err
+		}
+		res.Competitive = &CompetitiveResult{
+			GPUSpeedup:         pair.GPUSpeedup,
+			PIMSpeedup:         pair.PIMSpeedup,
+			Fairness:           pair.Fairness,
+			Throughput:         pair.Throughput,
+			MemArrivalNorm:     pair.MemArrivalNorm,
+			Switches:           pair.Switches,
+			ConflictsPerSwitch: pair.ConflictsPerSwitch,
+			DrainPerSwitch:     pair.DrainPerSwitch,
+			AvgMemQ:            pair.AvgMemQ,
+			AvgPIMQ:            pair.AvgPIMQ,
+			Aborted:            pair.Aborted,
+			Faults:             pair.Faults,
+		}
+	case KindStandaloneGPU:
+		st, err := r.StandaloneGPUCtx(j.ctx, c.GPUID)
+		if err != nil {
+			return nil, err
+		}
+		res.Standalone = &StandaloneResult{
+			Cycles: st.Cycles, NoCRate: st.NoCRate, MCRate: st.MCRate, BLP: st.BLP, RBHR: st.RBHR,
+		}
+	case KindStandalonePIM:
+		st, err := r.StandalonePIMCtx(j.ctx, c.PIMID)
+		if err != nil {
+			return nil, err
+		}
+		res.Standalone = &StandaloneResult{
+			Cycles: st.Cycles, NoCRate: st.NoCRate, MCRate: st.MCRate, BLP: st.BLP, RBHR: st.RBHR,
+		}
+	default:
+		return nil, fmt.Errorf("serve: unhandled kind %q", c.Kind)
+	}
+	return json.Marshal(res)
+}
+
+// finishJob records a job's terminal state, counts it, and applies the
+// finished-job retention bound.
+func (s *Server) finishJob(j *Job, result []byte, cached bool, err error) {
+	switch {
+	case err == nil:
+		j.finish(StatusDone, result, cached, "")
+		s.jobsDone.Inc()
+		if cached {
+			s.jobsCached.Inc()
+		}
+	case errors.Is(err, context.Canceled):
+		j.finish(StatusCanceled, nil, false, err.Error())
+		s.jobsCanceled.Inc()
+	default:
+		j.finish(StatusFailed, nil, false, err.Error())
+		s.jobsFailed.Inc()
+	}
+
+	s.mu.Lock()
+	s.finished = append(s.finished, j.ID)
+	for len(s.finished) > s.opts.MaxJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+}
+
+// newJob registers a job for a canonicalized request.
+func (s *Server) newJob(c Canonical, class Class, timeout time.Duration) *Job {
+	if timeout <= 0 || timeout > s.opts.JobTimeout {
+		timeout = s.opts.JobTimeout
+	}
+	ctx, cancel := context.WithTimeout(s.ctx, timeout)
+	j := &Job{
+		Class:   class,
+		Canon:   c,
+		Digest:  c.Digest(),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		status:  StatusQueued,
+		created: time.Now(),
+	}
+	s.mu.Lock()
+	s.seq++
+	j.ID = fmt.Sprintf("j-%08d", s.seq)
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+	s.jobsCreated.Inc()
+	return j
+}
+
+func (s *Server) job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /v1/simulate            submit a request (?wait=1 blocks)
+//	GET    /v1/jobs/{id}           job status and result
+//	GET    /v1/jobs/{id}/stream    SSE progress stream
+//	DELETE /v1/jobs/{id}           cancel a job
+//	GET    /healthz                liveness
+//	GET    /metrics                service metrics (also /v1/metrics)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	canon, err := Canonicalize(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if canon.Scale > s.opts.MaxScale {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: scale %.3f exceeds the server limit %.3f", canon.Scale, s.opts.MaxScale))
+		return
+	}
+	class, err := ParseClass(req.Priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.ctx.Err() != nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: shutting down"))
+		return
+	}
+
+	j := s.newJob(canon, class, time.Duration(req.TimeoutMS)*time.Millisecond)
+	entry, outcome := s.cache.Lookup(j.Digest)
+	switch outcome {
+	case OutcomeHit:
+		j.setRunning("")
+		s.finishJob(j, entry.Result(), true, nil)
+	case OutcomeJoin:
+		// Ride the in-flight computation without occupying a worker.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			data, err := entry.Wait(j.ctx)
+			if err == nil {
+				j.setRunning("")
+			}
+			s.finishJob(j, data, err == nil, err)
+		}()
+	case OutcomeMiss:
+		j.entry = entry
+		if !s.q.Push(j) {
+			s.cache.Abandon(entry, errors.New("serve: shutting down"))
+			s.finishJob(j, nil, false, context.Canceled)
+			writeError(w, http.StatusServiceUnavailable, errors.New("serve: shutting down"))
+			return
+		}
+	}
+
+	wait := r.URL.Query().Get("wait")
+	if wait == "1" || strings.EqualFold(wait, "true") {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			writeError(w, http.StatusRequestTimeout, r.Context().Err())
+			return
+		}
+		writeJSON(w, http.StatusOK, j.View(true))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.View(true))
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View(true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: unknown job"))
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.View(false))
+}
+
+// handleStream serves an SSE progress stream: a "job" event with the
+// current view every StreamInterval while the job runs, then one final
+// "done" event carrying the full view (result included) when it reaches
+// a terminal status.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: unknown job"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("serve: streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	if !send("job", j.View(false)) {
+		return
+	}
+	ticker := time.NewTicker(s.opts.StreamInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-j.Done():
+			send("done", j.View(true))
+			return
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+			if !send("job", j.View(false)) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.ctx.Err() != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting down"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Metrics is the GET /metrics payload (see docs/ARCHITECTURE.md,
+// "Observability"): cache effectiveness, queue backlog by class, worker
+// utilization and job outcomes, all backed by internal/telemetry
+// instruments.
+type Metrics struct {
+	UptimeMS int64 `json:"uptime_ms"`
+
+	Workers struct {
+		Total int   `json:"total"`
+		Busy  int64 `json:"busy"`
+	} `json:"workers"`
+
+	Queue struct {
+		InteractiveDepth int    `json:"interactive_depth"`
+		BulkDepth        int    `json:"bulk_depth"`
+		Enqueued         uint64 `json:"enqueued"`
+		Dequeued         uint64 `json:"dequeued"`
+	} `json:"queue"`
+
+	Cache CacheStats `json:"cache"`
+
+	Jobs struct {
+		Created  uint64 `json:"created"`
+		Done     uint64 `json:"done"`
+		Failed   uint64 `json:"failed"`
+		Canceled uint64 `json:"canceled"`
+		Cached   uint64 `json:"cached"`
+	} `json:"jobs"`
+}
+
+// MetricsSnapshot assembles the current metrics (also used by tests and
+// the load generator directly).
+func (s *Server) MetricsSnapshot() Metrics {
+	var m Metrics
+	m.UptimeMS = time.Since(s.start).Milliseconds()
+	m.Workers.Total = s.opts.Workers
+	m.Workers.Busy = s.workersBusy.Value()
+	m.Queue.InteractiveDepth, m.Queue.BulkDepth = s.q.Depths()
+	m.Queue.Enqueued = s.q.enqueued.Value()
+	m.Queue.Dequeued = s.q.dequeued.Value()
+	m.Cache = s.cache.Stats()
+	m.Jobs.Created = s.jobsCreated.Value()
+	m.Jobs.Done = s.jobsDone.Value()
+	m.Jobs.Failed = s.jobsFailed.Value()
+	m.Jobs.Canceled = s.jobsCanceled.Value()
+	m.Jobs.Cached = s.jobsCached.Value()
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}

@@ -1,0 +1,107 @@
+package serve_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/loadgen"
+)
+
+// TestServeSmoke is the CI load/serve gate (make serve-smoke): boot a
+// real pimserve over loopback, fire the short mixed-load profile at it,
+// and assert the service invariants —
+//
+//   - every request succeeds;
+//   - responses for one digest are byte-identical whether they came
+//     from a fresh simulation, a single-flight join, or a cache hit;
+//   - the cache hit rate reflects the duplicate fraction (>= 0.90 on a
+//     95%-duplicate stream);
+//   - graceful shutdown leaks no goroutines.
+//
+// It runs under -race in CI, which is what makes the "zero
+// cross-request state leakage" claim a checked property instead of a
+// design intention.
+func TestServeSmoke(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	srv := serve.New(serve.Options{})
+	hs := httptest.NewServer(srv.Handler())
+
+	p := loadgen.Short()
+	if testing.Short() {
+		p.Requests = 150
+		p.Concurrency = 12
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	client := &http.Client{Timeout: 3 * time.Minute}
+	rep, err := loadgen.Run(ctx, client, hs.URL, p)
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	t.Logf("loadgen: %d requests in %v (%.1f rps), %d unique digests, hit rate %.3f",
+		rep.Succeeded, rep.Elapsed.Round(time.Millisecond), rep.RPS, rep.UniqueDigests, rep.HitRate)
+
+	if rep.Failed > 0 {
+		t.Fatalf("%d requests failed: %v", rep.Failed, rep.Errors)
+	}
+	if rep.Succeeded != rep.Requests {
+		t.Fatalf("succeeded %d of %d", rep.Succeeded, rep.Requests)
+	}
+	if rep.Mismatches > 0 {
+		t.Fatalf("%d digests returned non-identical bytes across requests", rep.Mismatches)
+	}
+	if rep.UniqueDigests < p.HotSet {
+		t.Fatalf("only %d unique digests, expected at least the %d-entry hot set",
+			rep.UniqueDigests, p.HotSet)
+	}
+	// Single-flight plus an eviction-free cache must serve every
+	// duplicate from one computation: the achieved hit rate equals the
+	// schedule's ideal (1 - unique/requests) exactly. The full profile's
+	// ideal clears the ISSUE bar of 0.90 on its 95%-duplicate stream;
+	// the -short profile is too small for 0.90 to be attainable, so it
+	// is held to its own (lower) ideal instead.
+	ideal := 1 - float64(rep.UniqueDigests)/float64(rep.Requests)
+	if rep.HitRate < ideal-1e-9 {
+		t.Fatalf("cache hit rate %.4f below the schedule ideal %.4f: duplicates recomputed",
+			rep.HitRate, ideal)
+	}
+	if !testing.Short() && rep.HitRate < 0.90 {
+		t.Fatalf("cache hit rate %.3f below 0.90 on a %.0f%%-duplicate stream",
+			rep.HitRate, p.DupFraction*100)
+	}
+
+	// Graceful shutdown: HTTP first, then the worker pool; afterwards
+	// the goroutine count must settle back to the baseline (plus slack
+	// for the HTTP client's idle machinery).
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelShutdown()
+	if err := hs.Config.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("http shutdown: %v", err)
+	}
+	hs.Close()
+	srv.Close()
+	client.CloseIdleConnections()
+
+	const slack = 4
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak after shutdown: %d goroutines, baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

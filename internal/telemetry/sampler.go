@@ -117,6 +117,21 @@ func (s *Sampler) Record(snap Snapshot) {
 	s.dropped++
 }
 
+// Last returns the most recent snapshot and whether one exists. Live
+// consumers (the pimserve progress stream) poll it instead of copying
+// the whole ring with Snapshots.
+func (s *Sampler) Last() (Snapshot, bool) {
+	if s == nil {
+		return Snapshot{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Snapshot{}, false
+	}
+	return s.buf[(s.start+s.n-1)%s.n], true
+}
+
 // Dropped returns how many snapshots were evicted by ring wraparound.
 func (s *Sampler) Dropped() uint64 {
 	if s == nil {
