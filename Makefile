@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint fmt-check vulncheck test test-short test-race test-simdebug fuzz-short differential-smoke ci golden-fig8 faults-smoke serve-smoke bench bench-json figures examples clean
+.PHONY: all build vet lint fmt-check vulncheck test test-short test-race test-simdebug fuzz-short differential-smoke ci golden-fig8 faults-smoke serve-smoke chaos-smoke bench bench-json figures examples clean
 
 all: build vet lint test
 
@@ -62,7 +62,7 @@ differential-smoke:
 # build, full tests, race-shortened tests, simdebug assertions, short
 # fuzzing, the golden-figure smoke check, the fault-injection campaign
 # smoke, and the pimserve load/serve gate.
-ci: lint build test test-race test-simdebug fuzz-short differential-smoke golden-fig8 faults-smoke serve-smoke
+ci: lint build test test-race test-simdebug fuzz-short differential-smoke golden-fig8 faults-smoke serve-smoke chaos-smoke
 
 # Regenerate Fig. 8 on the golden subset and compare within tolerances
 # (the simulator is deterministic; this flags unintended model drift).
@@ -102,6 +102,17 @@ faults-smoke:
 serve-smoke:
 	go build ./cmd/pimserve ./cmd/pimload
 	go test -race -count=1 -v -run 'TestServeSmoke' ./internal/serve/
+
+# Chaos-recovery gate for the persistent store (docs/ARCHITECTURE.md,
+# "Persistence & degraded mode"): build the real daemon, serve a load
+# with persistence on, SIGKILL it with jobs in flight, corrupt the
+# journal tail on top, restart over the same directory, and assert
+# every accepted response comes back byte-identical from the warm
+# cache with the damage skipped and counted — never fatal, and never a
+# degraded store.
+chaos-smoke:
+	go build -o /tmp/pimserve_chaos ./cmd/pimserve
+	PIMSERVE_BIN=/tmp/pimserve_chaos go test -race -count=1 -v -run 'TestChaosRecovery' ./internal/serve/
 
 # One benchmark per paper table/figure, with custom metrics.
 bench:

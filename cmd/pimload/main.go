@@ -32,6 +32,7 @@ func main() {
 		scale   = flag.Float64("scale", short.Scale, "workload scale per request")
 		cycles  = flag.Uint64("max-gpu-cycles", short.MaxGPUCycles, "per-request cycle bound (0 = server default)")
 		seed    = flag.Int64("seed", short.Seed, "schedule seed")
+		retries = flag.Int("retries", short.MaxRetries, "per-request retries on 429/503 (honors Retry-After, exponential backoff)")
 		minHit  = flag.Float64("min-hit-rate", -1, "fail below this cache hit rate (<0 = no check)")
 	)
 	flag.Parse()
@@ -46,6 +47,7 @@ func main() {
 		MaxGPUCycles: *cycles,
 		TimeoutMS:    short.TimeoutMS,
 		Seed:         *seed,
+		MaxRetries:   *retries,
 	}
 	rep, err := loadgen.Run(context.Background(), nil, *baseURL, p)
 	if err != nil {

@@ -1,11 +1,14 @@
 // Command pimserve exposes the simulator as a service: an HTTP/JSON
 // daemon running simulation requests on a bounded worker pool with a
-// priority queue and a content-addressed result cache. See
-// docs/ARCHITECTURE.md ("Serving: pimserve") for the API.
+// priority queue, admission control, a content-addressed result cache,
+// and (with -store) a crash-safe persistent backing store the cache
+// warm-loads from after a restart. See docs/ARCHITECTURE.md ("Serving:
+// pimserve" and "Persistence & degraded mode") for the API and the
+// durability contract.
 //
 // Usage:
 //
-//	pimserve -addr 127.0.0.1:8731 -workers 8 -cache 4096
+//	pimserve -addr 127.0.0.1:8731 -workers 8 -cache 4096 -store /var/lib/pimserve
 package main
 
 import (
@@ -34,18 +37,37 @@ func main() {
 		maxScale    = flag.Float64("max-scale", 1.0, "largest accepted workload scale")
 		maxJobs     = flag.Int("max-jobs", 16384, "retained finished job records")
 		sampleEvery = flag.Uint64("sample-interval", 2048, "progress sampler epoch (GPU cycles)")
+
+		queueIA   = flag.Int("queue-interactive", 256, "interactive admission-queue depth (429 beyond)")
+		queueBulk = flag.Int("queue-bulk", 1024, "bulk admission-queue depth (429 beyond)")
+
+		storeDir     = flag.String("store", "", "persistent result store directory (empty = memory-only)")
+		storeMax     = flag.Int64("store-max-bytes", 256<<20, "store disk quota; exceeding it degrades to memory-only")
+		storeCompact = flag.Int("store-compact-every", 512, "journal records between snapshot compactions")
+		storeNoSync  = flag.Bool("store-no-sync", false, "skip per-record fsync (faster, last results may be lost to a crash)")
+
+		drainGrace = flag.Duration("drain-grace", 500*time.Millisecond, "pause between readiness flipping false and the listener closing")
 	)
 	flag.Parse()
 
-	srv := serve.New(serve.Options{
-		Workers:        *workers,
-		CacheEntries:   *cacheSize,
-		RunTimeout:     *runTimeout,
-		JobTimeout:     *jobTimeout,
-		MaxScale:       *maxScale,
-		MaxJobs:        *maxJobs,
-		SampleInterval: *sampleEvery,
+	srv, err := serve.New(serve.Options{
+		Workers:             *workers,
+		CacheEntries:        *cacheSize,
+		RunTimeout:          *runTimeout,
+		JobTimeout:          *jobTimeout,
+		MaxScale:            *maxScale,
+		MaxJobs:             *maxJobs,
+		SampleInterval:      *sampleEvery,
+		MaxQueueInteractive: *queueIA,
+		MaxQueueBulk:        *queueBulk,
+		StoreDir:            *storeDir,
+		StoreMaxBytes:       *storeMax,
+		StoreCompactEvery:   *storeCompact,
+		StoreNoSync:         *storeNoSync,
 	})
+	if err != nil {
+		log.Fatalf("pimserve: %v", err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -68,6 +90,13 @@ func main() {
 		}
 	}
 
+	// Ordered drain: readiness flips false FIRST (load balancers stop
+	// routing, SSE streams get their terminal event), then — after a
+	// short grace so in-flight health probes observe it — the listener
+	// stops accepting and in-flight requests complete, then the worker
+	// pool and store shut down (Close compacts the journal).
+	srv.BeginDrain()
+	time.Sleep(*drainGrace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {

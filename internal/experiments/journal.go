@@ -1,14 +1,12 @@
 package experiments
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
-	"os"
 	"sync"
 
 	"repro/internal/config"
+	"repro/internal/journal"
 	"repro/internal/telemetry"
 )
 
@@ -39,9 +37,10 @@ type JournalEntry struct {
 // Journal checkpoints a campaign's completed pairs so an interrupted
 // sweep resumes where it left off. The on-disk format is JSONL — a
 // header identifying the config (hash + scale) followed by one entry per
-// finished or failed pair — rewritten atomically (temp file + rename) on
-// every record, so a kill at any instant leaves either the previous or
-// the new complete journal. Safe for concurrent use by parallel workers.
+// finished or failed pair — rewritten atomically (internal/journal's
+// checkpoint discipline: temp file + rename, fsync'd) on every record,
+// so a kill at any instant leaves either the previous or the new
+// complete journal. Safe for concurrent use by parallel workers.
 type Journal struct {
 	mu      sync.Mutex
 	path    string
@@ -66,40 +65,25 @@ func OpenJournal(path string, cfg config.Config, scale float64) (*Journal, error
 		},
 		entries: make(map[string]JournalEntry),
 	}
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return j, nil
+	matchHeader := func(line []byte) bool {
+		var h journalHeader
+		return json.Unmarshal(line, &h) == nil && h == j.header
 	}
-	if err != nil {
-		return nil, fmt.Errorf("experiments: open journal: %w", err)
-	}
-	defer f.Close()
-
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
-	first := true
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		if first {
-			first = false
-			var h journalHeader
-			if json.Unmarshal(line, &h) != nil || h != j.header {
-				// Different schema, config, or scale: start fresh.
-				return j, nil
-			}
-			continue
-		}
+	replay := func(line []byte) error {
 		var e JournalEntry
 		if json.Unmarshal(line, &e) != nil || e.Key == "" {
-			break // truncated tail (killed mid-write pre-atomicity) — keep what parsed
+			return journal.ErrCorrupt // truncated tail — keep what parsed
 		}
 		if _, seen := j.entries[e.Key]; !seen {
 			j.order = append(j.order, e.Key)
 		}
 		j.entries[e.Key] = e
+		return nil
+	}
+	// Checkpoint semantics: the file is rewritten whole, so nothing after
+	// a damaged line is trustworthy — stop there (stopAtCorrupt).
+	if _, err := journal.Scan(path, matchHeader, replay, true); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	return j, nil
 }
@@ -166,18 +150,16 @@ func (j *Journal) record(e JournalEntry) error {
 	}
 	j.entries[e.Key] = e
 
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	if err := enc.Encode(j.header); err != nil {
-		return fmt.Errorf("experiments: journal header: %w", err)
-	}
-	for _, key := range j.order {
-		entry := j.entries[key]
-		if err := enc.Encode(entry); err != nil {
-			return fmt.Errorf("experiments: journal entry %s: %w", key, err)
+	err := journal.Rewrite(j.path, j.header, func(enc *json.Encoder) error {
+		for _, key := range j.order {
+			entry := j.entries[key]
+			if err := enc.Encode(entry); err != nil {
+				return fmt.Errorf("experiments: journal entry %s: %w", key, err)
+			}
 		}
-	}
-	if err := telemetry.WriteFileAtomic(j.path, buf.Bytes(), 0o644); err != nil {
+		return nil
+	})
+	if err != nil {
 		return fmt.Errorf("experiments: journal write: %w", err)
 	}
 	return nil

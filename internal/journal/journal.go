@@ -1,0 +1,242 @@
+// Package journal is the shared crash-safe JSONL persistence machinery
+// behind every durable artifact in the repository: the campaign
+// checkpoint journal (internal/experiments) and the pimserve result
+// store (internal/serve/store) both build on it.
+//
+// A journal file is JSONL: one header line identifying the producer and
+// its configuration, followed by one record per line. Two write
+// disciplines are offered, matching the two consumers:
+//
+//   - Rewrite replaces the whole file atomically (temp file + rename,
+//     fsync'd), so a kill at any instant leaves either the old or the
+//     new complete file — the checkpoint discipline.
+//   - Appender appends records to the existing file (optionally fsync'd
+//     per record), so a kill mid-write can leave at most one truncated
+//     trailing line — the write-ahead-log discipline. Scan tolerates
+//     exactly that.
+//
+// Scan replays a journal, validating the header and tolerating a
+// corrupt or truncated tail without ever failing the load: entries
+// before the damage survive, damage is counted, and the caller decides
+// what the counters mean.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrCorrupt is returned by a Scan entry callback to report an
+// undecodable record; Scan counts it and (by policy) skips it or stops.
+var ErrCorrupt = errors.New("journal: corrupt entry")
+
+// ScanReport summarizes one Scan pass.
+type ScanReport struct {
+	// HeaderMatched reports whether the file existed and its first line
+	// satisfied the header predicate. When false, no entries were
+	// replayed: a journal written by a different producer or for a
+	// different configuration is discarded wholesale, never trusted.
+	HeaderMatched bool
+	// Entries counts records successfully replayed.
+	Entries int
+	// Skipped counts records rejected by the entry callback (corrupt,
+	// truncated, or failing the caller's integrity checks).
+	Skipped int
+}
+
+// Scan replays the JSONL journal at path. The first non-empty line is
+// passed to header; if header reports false the rest of the file is
+// ignored (HeaderMatched=false, nil error). Every further non-empty
+// line is passed to entry; a nil return counts as replayed, an error as
+// skipped. When stopAtCorrupt is true the scan stops at the first
+// skipped entry (append-order checkpoints: everything after a damaged
+// line is untrustworthy); otherwise it continues (write-ahead logs with
+// per-record integrity checks). A missing file is not an error — it
+// scans as empty.
+func Scan(path string, header func(line []byte) bool, entry func(line []byte) error, stopAtCorrupt bool) (ScanReport, error) {
+	var rep ScanReport
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return rep, nil
+	}
+	if err != nil {
+		return rep, fmt.Errorf("journal: open: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	first := true
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			if !header(line) {
+				return rep, nil
+			}
+			rep.HeaderMatched = true
+			continue
+		}
+		if err := entry(line); err != nil {
+			rep.Skipped++
+			if stopAtCorrupt {
+				return rep, nil
+			}
+			continue
+		}
+		rep.Entries++
+	}
+	// A scanner error (token too long, read failure) is tail damage like
+	// any other: keep what replayed, count one skip.
+	if sc.Err() != nil {
+		rep.Skipped++
+	}
+	return rep, nil
+}
+
+// Rewrite atomically replaces the journal at path with the header line
+// followed by whatever records fills in. The new content is written to
+// a temp file in the same directory, fsync'd, renamed over path, and
+// the directory is fsync'd — a kill at any instant leaves either the
+// previous or the new complete journal.
+func Rewrite(path string, header any, records func(enc *json.Encoder) error) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(header); err != nil {
+		return fmt.Errorf("journal: encode header: %w", err)
+	}
+	if records != nil {
+		if err := records(enc); err != nil {
+			return err
+		}
+	}
+	return WriteFileAtomic(path, buf.Bytes(), 0o644)
+}
+
+// WriteFileAtomic writes data to path through an fsync'd temp file in
+// the same directory followed by os.Rename and a directory fsync, so a
+// killed process never leaves a truncated or unlinked file behind.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Filesystems that refuse directory fsync (some network mounts) are
+// tolerated: the rename itself already happened.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// An Appender is the write-ahead-log half: it appends one JSON record
+// per line to the journal at path, creating the file with the given
+// header when absent or empty. With sync enabled every Append is
+// fsync'd before returning, so an acknowledged record survives a hard
+// kill. Safe for concurrent use.
+type Appender struct {
+	mu    sync.Mutex
+	f     *os.File
+	size  int64
+	fsync bool
+}
+
+// OpenAppender opens (or creates) the journal at path for appending.
+func OpenAppender(path string, header any, fsync bool) (*Appender, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open append: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: stat: %w", err)
+	}
+	a := &Appender{f: f, size: st.Size(), fsync: fsync}
+	if a.size == 0 {
+		if err := a.append(header); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Append writes one record line (plus fsync when the appender is
+// synchronous). The record is durable when Append returns nil.
+func (a *Appender) Append(v any) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.append(v)
+}
+
+func (a *Appender) append(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: encode record: %w", err)
+	}
+	data = append(data, '\n')
+	n, err := a.f.Write(data)
+	a.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if a.fsync {
+		if err := a.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Size returns the current journal size in bytes (header included).
+func (a *Appender) Size() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.size
+}
+
+// Close closes the underlying file. The appender is unusable after.
+func (a *Appender) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.f.Close()
+}

@@ -1,0 +1,211 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type testHeader struct {
+	Schema string `json:"schema"`
+	Tag    string `json:"tag"`
+}
+
+type testRecord struct {
+	Key string `json:"key"`
+	N   int    `json:"n"`
+}
+
+func matchHeader(want testHeader) func([]byte) bool {
+	return func(line []byte) bool {
+		var h testHeader
+		return json.Unmarshal(line, &h) == nil && h == want
+	}
+}
+
+func scanAll(t *testing.T, path string, want testHeader, stopAtCorrupt bool) ([]testRecord, ScanReport) {
+	t.Helper()
+	var got []testRecord
+	rep, err := Scan(path, matchHeader(want), func(line []byte) error {
+		var r testRecord
+		if json.Unmarshal(line, &r) != nil || r.Key == "" {
+			return ErrCorrupt
+		}
+		got = append(got, r)
+		return nil
+	}, stopAtCorrupt)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return got, rep
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	hdr := testHeader{Schema: "test/v1", Tag: "a"}
+
+	a, err := OpenAppender(path, hdr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range []string{"x", "y", "z"} {
+		if err := a.Append(testRecord{Key: k, N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := os.Stat(path)
+	if a.Size() != st.Size() {
+		t.Fatalf("Size() = %d, file is %d", a.Size(), st.Size())
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, rep := scanAll(t, path, hdr, false)
+	if !rep.HeaderMatched || rep.Entries != 3 || rep.Skipped != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(got) != 3 || got[0].Key != "x" || got[2].N != 2 {
+		t.Fatalf("records = %+v", got)
+	}
+
+	// Reopening an existing journal must not rewrite the header.
+	a2, err := OpenAppender(path, hdr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Append(testRecord{Key: "w", N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	a2.Close()
+	got, rep = scanAll(t, path, hdr, false)
+	if rep.Entries != 4 || got[3].Key != "w" {
+		t.Fatalf("after reopen: %+v / %+v", rep, got)
+	}
+}
+
+func TestScanMissingFile(t *testing.T) {
+	got, rep := scanAll(t, filepath.Join(t.TempDir(), "absent.jsonl"), testHeader{}, true)
+	if rep.HeaderMatched || rep.Entries != 0 || rep.Skipped != 0 || len(got) != 0 {
+		t.Fatalf("missing file scanned as %+v, %+v", rep, got)
+	}
+}
+
+func TestScanHeaderMismatchDiscards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	a, err := OpenAppender(path, testHeader{Schema: "test/v1", Tag: "a"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Append(testRecord{Key: "x", N: 1})
+	a.Close()
+
+	got, rep := scanAll(t, path, testHeader{Schema: "test/v1", Tag: "OTHER"}, false)
+	if rep.HeaderMatched || rep.Entries != 0 || len(got) != 0 {
+		t.Fatalf("mismatched header still replayed: %+v, %+v", rep, got)
+	}
+}
+
+func TestScanTruncatedTail(t *testing.T) {
+	hdr := testHeader{Schema: "test/v1", Tag: "a"}
+	for _, stop := range []bool{true, false} {
+		path := filepath.Join(t.TempDir(), "j.jsonl")
+		a, err := OpenAppender(path, hdr, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = a.Append(testRecord{Key: "x", N: 1})
+		_ = a.Append(testRecord{Key: "y", N: 2})
+		a.Close()
+		// Simulate a kill mid-append: a half-written trailing line.
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteString(`{"key":"z","n":`)
+		f.Close()
+
+		got, rep := scanAll(t, path, hdr, stop)
+		if rep.Entries != 2 || rep.Skipped != 1 || len(got) != 2 {
+			t.Fatalf("stop=%v: report %+v records %+v", stop, rep, got)
+		}
+	}
+}
+
+// TestScanCorruptMiddle pins the policy difference: stopAtCorrupt
+// abandons everything after the first bad line (checkpoint semantics),
+// a continuing scan keeps later good records (WAL semantics).
+func TestScanCorruptMiddle(t *testing.T) {
+	hdr := testHeader{Schema: "test/v1", Tag: "a"}
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	a, err := OpenAppender(path, hdr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Append(testRecord{Key: "x", N: 1})
+	a.Close()
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString("not json at all\n")
+	f.Close()
+	a2, err := OpenAppender(path, hdr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a2.Append(testRecord{Key: "y", N: 2})
+	a2.Close()
+
+	got, rep := scanAll(t, path, hdr, true)
+	if rep.Entries != 1 || rep.Skipped != 1 || len(got) != 1 || got[0].Key != "x" {
+		t.Fatalf("stop-at-corrupt: %+v %+v", rep, got)
+	}
+	got, rep = scanAll(t, path, hdr, false)
+	if rep.Entries != 2 || rep.Skipped != 1 || len(got) != 2 || got[1].Key != "y" {
+		t.Fatalf("skip-and-continue: %+v %+v", rep, got)
+	}
+}
+
+func TestScanEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, rep := scanAll(t, path, testHeader{Schema: "test/v1"}, true)
+	if rep.HeaderMatched || rep.Entries != 0 || rep.Skipped != 0 || len(got) != 0 {
+		t.Fatalf("empty file: %+v %+v", rep, got)
+	}
+}
+
+func TestRewriteReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	hdr := testHeader{Schema: "test/v1", Tag: "a"}
+	write := func(recs ...testRecord) {
+		t.Helper()
+		err := Rewrite(path, hdr, func(enc *json.Encoder) error {
+			for _, r := range recs {
+				if err := enc.Encode(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(testRecord{Key: "x", N: 1}, testRecord{Key: "y", N: 2})
+	write(testRecord{Key: "z", N: 3}) // full replacement, not append
+
+	got, rep := scanAll(t, path, hdr, true)
+	if rep.Entries != 1 || len(got) != 1 || got[0].Key != "z" {
+		t.Fatalf("rewrite kept stale records: %+v %+v", rep, got)
+	}
+	// No temp litter.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory litter: %v", entries)
+	}
+}

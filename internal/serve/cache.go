@@ -28,6 +28,8 @@ type Cache struct {
 	misses    *telemetry.Counter
 	joins     *telemetry.Counter
 	evictions *telemetry.Counter
+	warmed    *telemetry.Counter
+	warmHits  *telemetry.Counter
 }
 
 // Entry is one cache cell. The owner (the Lookup caller that got
@@ -39,6 +41,9 @@ type Entry struct {
 	result []byte
 	err    error
 	elem   *list.Element
+	// warm marks an entry seeded from the persistent store at boot
+	// rather than computed in this process's lifetime.
+	warm bool
 }
 
 // Outcome classifies a cache lookup.
@@ -69,7 +74,36 @@ func NewCache(max int, reg *telemetry.Registry) *Cache {
 		misses:    reg.Counter("serve/cache_misses"),
 		joins:     reg.Counter("serve/cache_joins"),
 		evictions: reg.Counter("serve/cache_evictions"),
+		warmed:    reg.Counter("serve/cache_warm_loaded"),
+		warmHits:  reg.Counter("serve/cache_warm_hits"),
 	}
+}
+
+// Seed inserts a completed entry loaded from the persistent store. It
+// refuses digests already present (completed or in flight: a miss that
+// raced ahead of the warm load and is already computing wins —
+// determinism makes the recomputation byte-identical, so nothing is
+// lost but the cycles).
+// Seeded entries join the LRU like any other completed entry and count
+// toward the bound.
+func (c *Cache) Seed(digest string, result []byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[digest]; exists {
+		return false
+	}
+	e := &Entry{digest: digest, done: make(chan struct{}), result: result, warm: true}
+	close(e.done)
+	c.entries[digest] = e
+	e.elem = c.lru.PushFront(e)
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*Entry).digest)
+		c.evictions.Inc()
+	}
+	c.warmed.Inc()
+	return true
 }
 
 // Lookup returns the entry for digest and how the caller relates to it:
@@ -83,6 +117,9 @@ func (c *Cache) Lookup(digest string) (*Entry, Outcome) {
 			// A resolved entry still in the map is always a fulfilled
 			// one: Abandon removes the entry before closing done.
 			c.hits.Inc()
+			if e.warm {
+				c.warmHits.Inc()
+			}
 			c.lru.MoveToFront(e.elem)
 			return e, OutcomeHit
 		default:
@@ -151,6 +188,13 @@ type CacheStats struct {
 	// HitRate counts both ready hits and single-flight joins as served
 	// from the cache: neither ran a new simulation.
 	HitRate float64 `json:"hit_rate"`
+	// WarmLoaded counts entries seeded from the persistent store at
+	// boot; WarmHits counts lookups served by them, and WarmHitRate is
+	// WarmHits over all lookups — the warm-start effectiveness the
+	// chaos-recovery gate asserts on.
+	WarmLoaded  uint64  `json:"warm_loaded"`
+	WarmHits    uint64  `json:"warm_hits"`
+	WarmHitRate float64 `json:"warm_hit_rate"`
 }
 
 // Stats snapshots the counters.
@@ -160,15 +204,18 @@ func (c *Cache) Stats() CacheStats {
 	inflight := len(c.entries) - completed
 	c.mu.Unlock()
 	s := CacheStats{
-		Hits:      c.hits.Value(),
-		Misses:    c.misses.Value(),
-		Joins:     c.joins.Value(),
-		Evictions: c.evictions.Value(),
-		Entries:   completed,
-		Inflight:  inflight,
+		Hits:       c.hits.Value(),
+		Misses:     c.misses.Value(),
+		Joins:      c.joins.Value(),
+		Evictions:  c.evictions.Value(),
+		Entries:    completed,
+		Inflight:   inflight,
+		WarmLoaded: c.warmed.Value(),
+		WarmHits:   c.warmHits.Value(),
 	}
 	if total := s.Hits + s.Misses + s.Joins; total > 0 {
 		s.HitRate = float64(s.Hits+s.Joins) / float64(total)
+		s.WarmHitRate = float64(s.WarmHits) / float64(total)
 	}
 	return s
 }

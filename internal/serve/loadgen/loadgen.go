@@ -13,6 +13,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -42,6 +43,11 @@ type Profile struct {
 	TimeoutMS int64
 	// Seed drives the schedule's RNG.
 	Seed int64
+	// MaxRetries bounds per-request retries on 429/503 responses and
+	// transport errors. Retries honor the server's Retry-After header
+	// when present and otherwise back off exponentially with jitter
+	// (seeded per worker, so schedules stay reproducible).
+	MaxRetries int
 }
 
 // Short returns the CI smoke profile: small enough to finish in tens of
@@ -58,6 +64,7 @@ func Short() Profile {
 		MaxGPUCycles: 2_500_000,
 		TimeoutMS:    120_000,
 		Seed:         1,
+		MaxRetries:   3,
 	}
 }
 
@@ -135,9 +142,12 @@ type Report struct {
 	// Mismatches counts digests whose responses were not byte-identical
 	// across all requests that produced them — always 0 on a healthy
 	// deterministic server.
-	Mismatches int           `json:"mismatches"`
-	Elapsed    time.Duration `json:"elapsed_ns"`
-	RPS        float64       `json:"rps"`
+	Mismatches int `json:"mismatches"`
+	// Retries counts requests re-sent after a 429/503 or transport
+	// error; a request that eventually succeeds counts as Succeeded.
+	Retries int           `json:"retries"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	RPS     float64       `json:"rps"`
 	// HitRate is the server-reported cache hit rate after the run.
 	HitRate float64 `json:"hit_rate"`
 	// Errors holds the first few failure messages for diagnosis.
@@ -167,11 +177,15 @@ func Run(ctx context.Context, client *http.Client, baseURL string, p Profile) (R
 	start := time.Now()
 	for w := 0; w < p.Concurrency; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Per-worker jitter source: retries stay reproducible without
+			// the workers contending on one locked RNG.
+			rng := rand.New(rand.NewSource(p.Seed<<16 + int64(w)))
 			for req := range work {
-				view, err := post(ctx, client, baseURL, req)
+				view, retries, err := post(ctx, client, baseURL, req, p.MaxRetries, rng)
 				mu.Lock()
+				rep.Retries += retries
 				switch {
 				case err != nil:
 					rep.Failed++
@@ -197,7 +211,7 @@ func Run(ctx context.Context, client *http.Client, baseURL string, p Profile) (R
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	for _, req := range reqs {
 		select {
@@ -226,34 +240,84 @@ func Run(ctx context.Context, client *http.Client, baseURL string, p Profile) (R
 	return rep, nil
 }
 
-func post(ctx context.Context, client *http.Client, baseURL string, req serve.Request) (serve.JobView, error) {
+// post submits one request, retrying up to maxRetries times on shed
+// (429) and unavailable (503) responses and on transport errors. The
+// wait between attempts is exponential with jitter, raised to the
+// server's Retry-After when it sends one. Returns the retry count it
+// spent alongside the final outcome.
+func post(ctx context.Context, client *http.Client, baseURL string, req serve.Request, maxRetries int, rng *rand.Rand) (serve.JobView, int, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		view, retryAfter, err := postOnce(ctx, client, baseURL, req)
+		if err == nil {
+			return view, attempt, nil
+		}
+		lastErr = err
+		if retryAfter < 0 || attempt >= maxRetries || ctx.Err() != nil {
+			return serve.JobView{}, attempt, lastErr
+		}
+		// Exponential backoff with full jitter, floored at the server's
+		// Retry-After hint so shed clients never hammer early.
+		backoff := time.Duration(100<<attempt) * time.Millisecond
+		if backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+		delay := time.Duration(rng.Int63n(int64(backoff) + 1))
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return serve.JobView{}, attempt, ctx.Err()
+		}
+	}
+}
+
+// postOnce performs a single submit. A negative retryAfter means the
+// failure is not retryable; zero means retryable with no server hint.
+func postOnce(ctx context.Context, client *http.Client, baseURL string, req serve.Request) (view serve.JobView, retryAfter time.Duration, err error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return serve.JobView{}, err
+		return serve.JobView{}, -1, err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		baseURL+"/v1/simulate?wait=1", bytes.NewReader(body))
 	if err != nil {
-		return serve.JobView{}, err
+		return serve.JobView{}, -1, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(hreq)
 	if err != nil {
-		return serve.JobView{}, err
+		// Transport errors (connection refused mid-restart, reset) are
+		// retryable unless the context itself is done.
+		if ctx.Err() != nil {
+			return serve.JobView{}, -1, err
+		}
+		return serve.JobView{}, 0, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return serve.JobView{}, err
+		return serve.JobView{}, 0, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return serve.JobView{}, fmt.Errorf("POST /v1/simulate: %s: %s", resp.Status, bytes.TrimSpace(data))
+		err := fmt.Errorf("POST /v1/simulate: %s: %s", resp.Status, bytes.TrimSpace(data))
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			after := time.Duration(0)
+			if sec, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && sec > 0 {
+				after = time.Duration(sec) * time.Second
+			}
+			return serve.JobView{}, after, err
+		default:
+			return serve.JobView{}, -1, err
+		}
 	}
-	var view serve.JobView
 	if err := json.Unmarshal(data, &view); err != nil {
-		return serve.JobView{}, err
+		return serve.JobView{}, -1, err
 	}
-	return view, nil
+	return view, -1, nil
 }
 
 func getJSON(ctx context.Context, client *http.Client, url string, v any) error {

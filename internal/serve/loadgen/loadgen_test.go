@@ -1,7 +1,12 @@
 package loadgen
 
 import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/serve"
@@ -61,5 +66,63 @@ func TestBuildScheduleShape(t *testing.T) {
 	// Unique digests = hot set + one per cold request.
 	if want := p.HotSet + cold; len(digests) != want {
 		t.Errorf("%d unique digests, want %d (hot %d + cold %d)", len(digests), want, p.HotSet, cold)
+	}
+}
+
+// TestRunRetriesSheddedRequests stands up a stub server that sheds the
+// first attempt of every submit with 429 and serves the retry, then
+// checks Run recovers every request and accounts the retries — the
+// client half of the admission-control contract.
+func TestRunRetriesSheddedRequests(t *testing.T) {
+	var attempts int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			fmt.Fprint(w, `{"cache":{"hit_rate":1}}`)
+			return
+		}
+		if atomic.AddInt64(&attempts, 1)%2 == 1 {
+			w.Header().Set("Retry-After", "0") // unparseable-as-positive: pure backoff
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"serve: queue full"}`)
+			return
+		}
+		fmt.Fprint(w, `{"id":"j-1","status":"done","digest":"d1","result":{"ok":true}}`)
+	}))
+	defer hs.Close()
+
+	p := Profile{Requests: 3, Concurrency: 1, HotSet: 1, Scale: 0.02, MaxRetries: 2, Seed: 7}
+	rep, err := Run(context.Background(), nil, hs.URL, p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failed != 0 || rep.Succeeded != p.Requests {
+		t.Fatalf("report %+v, want every shed request recovered by retry", rep)
+	}
+	if rep.Retries != p.Requests {
+		t.Fatalf("retries = %d, want %d (one per request)", rep.Retries, p.Requests)
+	}
+}
+
+// TestRunRetriesExhausted: with retries disabled a shed request is a
+// failure, not an infinite loop.
+func TestRunRetriesExhausted(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			fmt.Fprint(w, `{"cache":{"hit_rate":0}}`)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"serve: queue full"}`)
+	}))
+	defer hs.Close()
+
+	p := Profile{Requests: 2, Concurrency: 1, HotSet: 1, Scale: 0.02, MaxRetries: 0, Seed: 7}
+	rep, err := Run(context.Background(), nil, hs.URL, p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failed != p.Requests || rep.Retries != 0 {
+		t.Fatalf("report %+v, want every request failed without retries", rep)
 	}
 }

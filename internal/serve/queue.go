@@ -1,9 +1,17 @@
 package serve
 
 import (
+	"errors"
 	"sync"
 
 	"repro/internal/telemetry"
+)
+
+// Push failure modes: a full class sheds load (HTTP 429 + Retry-After
+// upstream), a closed queue means shutdown (HTTP 503).
+var (
+	errQueueFull   = errors.New("serve: queue full")
+	errQueueClosed = errors.New("serve: shutting down")
 )
 
 // Class is a job's priority class.
@@ -51,25 +59,33 @@ func (f *jobFIFO) pop() *Job {
 func (f *jobFIFO) len() int { return len(f.buf) - f.head }
 
 // queue is the two-class priority job queue feeding the worker pool:
-// strict priority between classes, FIFO within a class. Close switches
-// it to drain mode — Pop keeps returning queued jobs until empty, then
-// reports closed — so shutdown marks every queued job instead of
-// leaking it.
+// strict priority between classes, FIFO within a class, and a bounded
+// per-class admission depth — beyond it Push sheds the job instead of
+// queueing unboundedly. Close switches it to drain mode — Pop keeps
+// returning queued jobs until empty, then reports closed — so shutdown
+// marks every queued job instead of leaking it.
 type queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	closed bool
 	cls    [2]jobFIFO
+	limit  [2]int
 
 	enqueued *telemetry.Counter
 	dequeued *telemetry.Counter
+	shed     [2]*telemetry.Counter
 	depth    [2]*telemetry.Gauge
 }
 
-func newQueue(reg *telemetry.Registry) *queue {
+func newQueue(reg *telemetry.Registry, limits [2]int) *queue {
 	q := &queue{
+		limit:    limits,
 		enqueued: reg.Counter("serve/queue_enqueued"),
 		dequeued: reg.Counter("serve/queue_dequeued"),
+		shed: [2]*telemetry.Counter{
+			reg.Counter("serve/queue_shed_interactive"),
+			reg.Counter("serve/queue_shed_bulk"),
+		},
 		depth: [2]*telemetry.Gauge{
 			reg.Gauge("serve/queue_interactive_depth"),
 			reg.Gauge("serve/queue_bulk_depth"),
@@ -79,18 +95,29 @@ func newQueue(reg *telemetry.Registry) *queue {
 	return q
 }
 
-// Push enqueues a job; it reports false after Close.
-func (q *queue) Push(j *Job) bool {
+// Push enqueues a job. It fails with errQueueFull when the job's class
+// is at its admission limit (the caller sheds with 429 + Retry-After)
+// and errQueueClosed after Close.
+func (q *queue) Push(j *Job) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return false
+		return errQueueClosed
+	}
+	if lim := q.limit[j.Class]; lim > 0 && q.cls[j.Class].len() >= lim {
+		q.shed[j.Class].Inc()
+		return errQueueFull
 	}
 	q.cls[j.Class].push(j)
 	q.enqueued.Inc()
 	q.depth[j.Class].Set(int64(q.cls[j.Class].len()))
 	q.cond.Signal()
-	return true
+	return nil
+}
+
+// Shed returns the per-class shed-request counts.
+func (q *queue) Shed() (interactive, bulk uint64) {
+	return q.shed[ClassInteractive].Value(), q.shed[ClassBulk].Value()
 }
 
 // Pop blocks for the next job, interactive first. After Close it drains

@@ -13,7 +13,7 @@ func testJob(id string, class Class) *Job {
 }
 
 func TestQueuePriorityAndFIFO(t *testing.T) {
-	q := newQueue(telemetry.NewRegistry())
+	q := newQueue(telemetry.NewRegistry(), [2]int{})
 	q.Push(testJob("b1", ClassBulk))
 	q.Push(testJob("i1", ClassInteractive))
 	q.Push(testJob("b2", ClassBulk))
@@ -33,13 +33,13 @@ func TestQueuePriorityAndFIFO(t *testing.T) {
 }
 
 func TestQueueCloseDrains(t *testing.T) {
-	q := newQueue(telemetry.NewRegistry())
+	q := newQueue(telemetry.NewRegistry(), [2]int{})
 	q.Push(testJob("j1", ClassInteractive))
 	q.Push(testJob("j2", ClassBulk))
 	q.Close()
 
-	if q.Push(testJob("late", ClassInteractive)) {
-		t.Fatal("Push succeeded after Close")
+	if err := q.Push(testJob("late", ClassInteractive)); err != errQueueClosed {
+		t.Fatalf("Push after Close = %v, want errQueueClosed", err)
 	}
 	// Close drains: queued jobs still come out, then ok=false forever.
 	for _, id := range []string{"j1", "j2"} {
@@ -54,7 +54,7 @@ func TestQueueCloseDrains(t *testing.T) {
 }
 
 func TestQueueCloseWakesBlockedPop(t *testing.T) {
-	q := newQueue(telemetry.NewRegistry())
+	q := newQueue(telemetry.NewRegistry(), [2]int{})
 	done := make(chan bool)
 	go func() {
 		_, ok := q.Pop()
@@ -69,7 +69,7 @@ func TestQueueCloseWakesBlockedPop(t *testing.T) {
 // TestQueueConcurrent pushes from many producers while consumers drain,
 // checking nothing is lost or duplicated.
 func TestQueueConcurrent(t *testing.T) {
-	q := newQueue(telemetry.NewRegistry())
+	q := newQueue(telemetry.NewRegistry(), [2]int{})
 	const producers, perProducer = 8, 50
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {

@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/serve/store"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -37,6 +39,28 @@ type Options struct {
 	SampleInterval uint64
 	// StreamInterval is the SSE progress cadence (default 100ms).
 	StreamInterval time.Duration
+
+	// MaxQueueInteractive and MaxQueueBulk bound the per-class admission
+	// queue depth (defaults 256 and 1024). A submit beyond the bound is
+	// shed with HTTP 429 + Retry-After instead of queueing unboundedly.
+	MaxQueueInteractive int
+	MaxQueueBulk        int
+
+	// StoreDir enables the persistent result store (internal/serve/
+	// store): the cache warm-loads from it at boot and every computed
+	// result is journaled before its waiters are released. Empty keeps
+	// the cache memory-only.
+	StoreDir string
+	// StoreMaxBytes bounds the store's disk use (default 256 MiB); when
+	// exceeded even after compaction the store degrades to memory-only.
+	StoreMaxBytes int64
+	// StoreCompactEvery folds the journal into the snapshot after this
+	// many appended records (default 512).
+	StoreCompactEvery int
+	// StoreNoSync disables the per-record fsync (throughput over
+	// durability of the latest results; the chaos gate runs with fsync
+	// on).
+	StoreNoSync bool
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +85,12 @@ func (o Options) withDefaults() Options {
 	if o.StreamInterval <= 0 {
 		o.StreamInterval = 100 * time.Millisecond
 	}
+	if o.MaxQueueInteractive <= 0 {
+		o.MaxQueueInteractive = 256
+	}
+	if o.MaxQueueBulk <= 0 {
+		o.MaxQueueBulk = 1024
+	}
 	return o
 }
 
@@ -72,10 +102,19 @@ type Server struct {
 	opts  Options
 	cache *Cache
 	q     *queue
+	store *store.Store // nil when persistence is disabled
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	// ready closes once the warm load from the persistent store has
+	// completed and the worker pool is up; /readyz reports 503 until
+	// then. drain closes when shutdown begins (BeginDrain), flipping
+	// readiness false BEFORE the listener stops accepting.
+	ready     chan struct{}
+	drain     chan struct{}
+	drainOnce sync.Once
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -93,17 +132,24 @@ type Server struct {
 	start        time.Time
 }
 
-// New builds a Server and starts its worker pool. Close releases it.
-func New(opts Options) *Server {
+// New builds a Server: it opens the persistent store (when configured),
+// then warm-loads the cache and starts the worker pool in the
+// background — Ready()/readyz report when that completed. Close
+// releases it. The returned error covers environmental failures only
+// (store directory not creatable/readable); damaged store contents
+// degrade, they never fail New.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	reg := telemetry.NewRegistry()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:   opts,
 		cache:  NewCache(opts.CacheEntries, reg),
-		q:      newQueue(reg),
+		q:      newQueue(reg, [2]int{ClassInteractive: opts.MaxQueueInteractive, ClassBulk: opts.MaxQueueBulk}),
 		ctx:    ctx,
 		cancel: cancel,
+		ready:  make(chan struct{}),
+		drain:  make(chan struct{}),
 		jobs:   make(map[string]*Job),
 
 		reg:          reg,
@@ -115,16 +161,76 @@ func New(opts Options) *Server {
 		workersBusy:  reg.Gauge("serve/workers_busy"),
 		start:        time.Now(),
 	}
-	for i := 0; i < opts.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	if opts.StoreDir != "" {
+		st, err := store.Open(store.Options{
+			Dir:          opts.StoreDir,
+			MaxBytes:     opts.StoreMaxBytes,
+			CompactEvery: opts.StoreCompactEvery,
+			Sync:         !opts.StoreNoSync,
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = st
 	}
-	return s
+	s.wg.Add(1)
+	go s.warmLoad()
+	return s, nil
 }
 
-// Close stops the server: cancels every job context, drains the queue
-// (queued jobs finish as canceled), and waits for the workers and join
-// waiters to exit. Safe to call more than once.
+// warmLoad seeds the cache from the persistent store, then opens
+// readiness and starts the worker pool. Workers deliberately start
+// after seeding: no job can compute (and journal a duplicate of) a
+// digest the store is about to warm in.
+func (s *Server) warmLoad() {
+	defer s.wg.Done()
+	if s.store != nil {
+		s.store.Each(func(r store.Record) {
+			s.cache.Seed(r.Digest, r.Result)
+		})
+	}
+	close(s.ready)
+	s.mu.Lock()
+	if !s.closed {
+		// s.wg is never zero here (warmLoad's own count), so Add during a
+		// concurrent Close.Wait is safe.
+		for i := 0; i < s.opts.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Ready reports whether the server finished warm-loading and has not
+// begun draining — the /readyz answer.
+func (s *Server) Ready() bool {
+	select {
+	case <-s.drain:
+		return false
+	default:
+	}
+	select {
+	case <-s.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// BeginDrain flips readiness false and delivers a terminal "shutdown"
+// event to in-flight SSE streams. Call it BEFORE stopping the listener
+// so load balancers stop routing new work while in-flight requests
+// still complete; Close calls it implicitly. Safe to call repeatedly.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() { close(s.drain) })
+}
+
+// Close stops the server: flips readiness, cancels every job context,
+// drains the queue (queued jobs finish as canceled), waits for the
+// workers and join waiters to exit, and compacts + closes the
+// persistent store. Safe to call more than once.
 func (s *Server) Close() {
 	s.mu.Lock()
 	already := s.closed
@@ -133,9 +239,23 @@ func (s *Server) Close() {
 	if already {
 		return
 	}
+	s.BeginDrain()
 	s.cancel()
 	s.q.Close()
 	s.wg.Wait()
+	// If Close ran before warmLoad started the workers, queued jobs have
+	// no one to mark them terminal: drain them here.
+	for {
+		j, ok := s.q.Pop()
+		if !ok {
+			break
+		}
+		s.cache.Abandon(j.entry, errQueueClosed)
+		s.finishJob(j, nil, false, context.Canceled)
+	}
+	if s.store != nil {
+		s.store.Close()
+	}
 }
 
 func (s *Server) worker() {
@@ -166,6 +286,16 @@ func (s *Server) runJob(j *Job) {
 		s.cache.Abandon(j.entry, err)
 		s.finishJob(j, nil, false, err)
 		return
+	}
+	// Persist BEFORE releasing waiters: once any client sees this result
+	// as done, a restarted daemon must be able to serve the same bytes
+	// from its warm cache (the chaos gate's zero accepted-then-lost
+	// invariant). A persistence failure degrades the store to
+	// memory-only; serving continues.
+	if s.store != nil {
+		if canon, merr := json.Marshal(j.Canon); merr == nil {
+			s.store.Put(j.Digest, canon, data)
+		}
 	}
 	s.cache.Fulfill(j.entry, data)
 	s.finishJob(j, data, false, nil)
@@ -301,7 +431,8 @@ func (s *Server) job(id string) *Job {
 //	GET    /v1/jobs/{id}           job status and result
 //	GET    /v1/jobs/{id}/stream    SSE progress stream
 //	DELETE /v1/jobs/{id}           cancel a job
-//	GET    /healthz                liveness
+//	GET    /healthz                liveness (process up; degraded flag)
+//	GET    /readyz                 readiness (warm load done, not draining)
 //	GET    /metrics                service metrics (also /v1/metrics)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -310,6 +441,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
@@ -376,10 +508,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}()
 	case OutcomeMiss:
 		j.entry = entry
-		if !s.q.Push(j) {
-			s.cache.Abandon(entry, errors.New("serve: shutting down"))
+		if err := s.q.Push(j); err != nil {
+			s.cache.Abandon(entry, err)
 			s.finishJob(j, nil, false, context.Canceled)
-			writeError(w, http.StatusServiceUnavailable, errors.New("serve: shutting down"))
+			if errors.Is(err, errQueueFull) {
+				// Shed load instead of queueing unboundedly: tell the
+				// client when the backlog should have moved.
+				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+				writeError(w, http.StatusTooManyRequests, err)
+				return
+			}
+			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
 	}
@@ -460,7 +599,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-r.Context().Done():
 			return
-		case <-s.ctx.Done():
+		case <-s.drain:
+			// Drain delivers a terminal event, never a mid-stream EOF:
+			// prefer the job's own terminal view if it just finished,
+			// otherwise say explicitly that the server is going away.
+			select {
+			case <-j.Done():
+				send("done", j.View(true))
+			default:
+				send("shutdown", j.View(false))
+			}
 			return
 		case <-ticker.C:
 			if !send("job", j.View(false)) {
@@ -470,12 +618,54 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	if s.ctx.Err() != nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting down"})
-		return
+// retryAfterSeconds estimates when a shed client should retry: one
+// second per queued-jobs-per-worker, clamped to [1, 30]. Deliberately
+// coarse — its job is to spread the retry wave, not to predict latency.
+func (s *Server) retryAfterSeconds() int {
+	ia, bulk := s.q.Depths()
+	sec := 1 + (ia+bulk)/s.opts.Workers
+	if sec > 30 {
+		sec = 30
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	return sec
+}
+
+// Degraded reports whether the persistent store has fallen back to
+// memory-only mode (always false when persistence is disabled).
+func (s *Server) Degraded() bool {
+	return s.store != nil && s.store.Degraded()
+}
+
+// handleHealth is LIVENESS: 200 as long as the process can answer,
+// including while draining — kubelet-style probes must not kill a
+// daemon that is finishing in-flight work. The degraded flag rides
+// along so operators see persistence failures here too.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"degraded": s.Degraded(),
+	})
+}
+
+// handleReady is READINESS: false until the warm load from the
+// persistent store completes, and false again as soon as shutdown
+// begins (BeginDrain runs before the listener stops accepting).
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	select {
+	case <-s.drain:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	default:
+	}
+	select {
+	case <-s.ready:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ready",
+			"degraded": s.Degraded(),
+		})
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "warming"})
+	}
 }
 
 // Metrics is the GET /metrics payload (see docs/ARCHITECTURE.md,
@@ -484,6 +674,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // instruments.
 type Metrics struct {
 	UptimeMS int64 `json:"uptime_ms"`
+	// Ready mirrors /readyz; Degraded mirrors the persistent store's
+	// memory-only fallback flag (false when persistence is disabled).
+	Ready    bool `json:"ready"`
+	Degraded bool `json:"degraded"`
 
 	Workers struct {
 		Total int   `json:"total"`
@@ -495,9 +689,21 @@ type Metrics struct {
 		BulkDepth        int    `json:"bulk_depth"`
 		Enqueued         uint64 `json:"enqueued"`
 		Dequeued         uint64 `json:"dequeued"`
+		// ShedInteractive/ShedBulk count submits refused with 429
+		// because the class was at its admission limit.
+		ShedInteractive uint64 `json:"shed_interactive"`
+		ShedBulk        uint64 `json:"shed_bulk"`
 	} `json:"queue"`
 
 	Cache CacheStats `json:"cache"`
+
+	// Store reports the persistent backing store (replay/skip/compaction
+	// counters, disk use, degraded reason); Enabled false means the
+	// daemon runs memory-only by configuration.
+	Store struct {
+		Enabled bool `json:"enabled"`
+		store.Stats
+	} `json:"store"`
 
 	Jobs struct {
 		Created  uint64 `json:"created"`
@@ -513,12 +719,19 @@ type Metrics struct {
 func (s *Server) MetricsSnapshot() Metrics {
 	var m Metrics
 	m.UptimeMS = time.Since(s.start).Milliseconds()
+	m.Ready = s.Ready()
+	m.Degraded = s.Degraded()
 	m.Workers.Total = s.opts.Workers
 	m.Workers.Busy = s.workersBusy.Value()
 	m.Queue.InteractiveDepth, m.Queue.BulkDepth = s.q.Depths()
 	m.Queue.Enqueued = s.q.enqueued.Value()
 	m.Queue.Dequeued = s.q.dequeued.Value()
+	m.Queue.ShedInteractive, m.Queue.ShedBulk = s.q.Shed()
 	m.Cache = s.cache.Stats()
+	if s.store != nil {
+		m.Store.Enabled = true
+		m.Store.Stats = s.store.Stats()
+	}
 	m.Jobs.Created = s.jobsCreated.Value()
 	m.Jobs.Done = s.jobsDone.Value()
 	m.Jobs.Failed = s.jobsFailed.Value()

@@ -82,7 +82,10 @@ func waitTerminal(t *testing.T, url, id string) JobView {
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(opts)
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		hs.Close()
@@ -338,7 +341,10 @@ func TestServerRejects(t *testing.T) {
 // TestServerCloseMarksQueuedJobs verifies shutdown drains the queue:
 // jobs still queued when Close runs end as canceled, not stuck.
 func TestServerCloseMarksQueuedJobs(t *testing.T) {
-	srv := New(Options{Workers: 1})
+	srv, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 
 	var jobs []*Job
 	for i := 0; i < 4; i++ {
@@ -351,8 +357,8 @@ func TestServerCloseMarksQueuedJobs(t *testing.T) {
 			t.Fatalf("job %d: outcome %v", i, out)
 		}
 		j.entry = entry
-		if !srv.q.Push(j) {
-			t.Fatalf("push %d failed", i)
+		if err := srv.q.Push(j); err != nil {
+			t.Fatalf("push %d failed: %v", i, err)
 		}
 		jobs = append(jobs, j)
 	}

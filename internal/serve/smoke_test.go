@@ -29,7 +29,10 @@ import (
 func TestServeSmoke(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
-	srv := serve.New(serve.Options{})
+	srv, err := serve.New(serve.Options{})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 
 	p := loadgen.Short()
