@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint fmt-check vulncheck test test-short test-race test-simdebug fuzz-short differential-smoke ci golden-fig8 faults-smoke serve-smoke chaos-smoke bench bench-json figures examples clean
+.PHONY: all build vet lint fmt-check vulncheck test test-short test-race test-simdebug fuzz-short differential-smoke ci golden-fig8 faults-smoke serve-smoke chaos-smoke deadlock-canary bench bench-json figures examples clean
 
 all: build vet lint test
 
@@ -10,9 +10,11 @@ build:
 vet:
 	go vet ./...
 
-# Static-analysis suite: the custom pimlint analyzers (determinism and
-# nil-safe-handle invariants, see docs/DETERMINISM.md) plus go vet and a
-# gofmt cleanliness check. Any finding fails the target.
+# Static-analysis suite: the custom pimlint analyzers — determinism,
+# nil-safe-handle, hot-path and liveness invariants plus the
+# concurrency disciplines (lockorder, ctxflow, goorphan, atomicmix),
+# see docs/DETERMINISM.md — plus go vet and a gofmt cleanliness check.
+# Any finding fails the target.
 lint: fmt-check vet
 	go run ./cmd/pimlint ./...
 
@@ -61,8 +63,9 @@ differential-smoke:
 # Mirror of .github/workflows/ci.yml: lint (gofmt + vet + pimlint),
 # build, full tests, race-shortened tests, simdebug assertions, short
 # fuzzing, the golden-figure smoke check, the fault-injection campaign
-# smoke, and the pimserve load/serve gate.
-ci: lint build test test-race test-simdebug fuzz-short differential-smoke golden-fig8 faults-smoke serve-smoke chaos-smoke
+# smoke, the pimserve load/serve and chaos gates, and the deadlock
+# canary.
+ci: lint build test test-race test-simdebug fuzz-short differential-smoke golden-fig8 faults-smoke serve-smoke chaos-smoke deadlock-canary
 
 # Regenerate Fig. 8 on the golden subset and compare within tolerances
 # (the simulator is deterministic; this flags unintended model drift).
@@ -113,6 +116,13 @@ serve-smoke:
 chaos-smoke:
 	go build -o /tmp/pimserve_chaos ./cmd/pimserve
 	PIMSERVE_BIN=/tmp/pimserve_chaos go test -race -count=1 -v -run 'TestChaosRecovery' ./internal/serve/
+
+# Deadlock canary: the serve smoke under the race detector with a hard
+# two-minute timeout, so a lock-order or shutdown deadlock the
+# concurrency analyzers missed becomes a fast failure with a goroutine
+# dump instead of a hung job.
+deadlock-canary:
+	go test -race -count=1 -timeout 120s -run 'TestServeSmoke' ./internal/serve/
 
 # One benchmark per paper table/figure, with custom metrics.
 bench:

@@ -17,6 +17,14 @@
 //	           (whole-program)
 //	cfglive    exported config fields are read by simulator code
 //	           (whole-program)
+//	lockorder  no lock-order cycles or blocking operations under held
+//	           locks in the concurrency packages (whole-program)
+//	ctxflow    blocking channel operations reachable from the service
+//	           worker roots are cancellable (whole-program)
+//	goorphan   goroutines in service code are WaitGroup-tracked or
+//	           carry a justified //pimlint:detached (whole-program)
+//	atomicmix  fields accessed through sync/atomic are never also
+//	           accessed plainly outside init (whole-program)
 //
 // Usage:
 //
@@ -39,11 +47,15 @@ import (
 	"os"
 
 	"repro/tools/pimlint/analysis"
+	"repro/tools/pimlint/analyzers/atomicmix"
 	"repro/tools/pimlint/analyzers/cfglive"
+	"repro/tools/pimlint/analyzers/ctxflow"
 	"repro/tools/pimlint/analyzers/cyclesafe"
 	"repro/tools/pimlint/analyzers/detclock"
 	"repro/tools/pimlint/analyzers/detmap"
+	"repro/tools/pimlint/analyzers/goorphan"
 	"repro/tools/pimlint/analyzers/hotalloc"
+	"repro/tools/pimlint/analyzers/lockorder"
 	"repro/tools/pimlint/analyzers/nextevent"
 	"repro/tools/pimlint/analyzers/nilhandle"
 	"repro/tools/pimlint/analyzers/telemlive"
@@ -61,6 +73,10 @@ func analyzers(cfg *lintcfg.Config) []*analysis.Analyzer {
 		hotalloc.New(cfg),
 		telemlive.New(cfg),
 		cfglive.New(cfg),
+		lockorder.New(cfg),
+		ctxflow.New(cfg),
+		goorphan.New(cfg),
+		atomicmix.New(cfg),
 	}
 }
 

@@ -76,6 +76,10 @@ func main() {
 	hs := &http.Server{Handler: srv.Handler()}
 
 	done := make(chan error, 1)
+	// Process-lifetime acceptor: Serve returns when Shutdown below
+	// closes the listener, and the buffered channel lets the goroutine
+	// exit even if the signal path wins the select.
+	//pimlint:detached — acceptor loop lives for the process; hs.Shutdown unblocks Serve and main exits behind it
 	go func() { done <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "pimserve: listening on http://%s\n", ln.Addr())
 

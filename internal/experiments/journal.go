@@ -150,6 +150,12 @@ func (j *Journal) record(e JournalEntry) error {
 	}
 	j.entries[e.Key] = e
 
+	// The atomic checkpoint rewrite (tmp+fsync+rename) runs under j.mu
+	// on purpose: it serializes with the entry-map updates above so a
+	// checkpoint is always a consistent snapshot, and a resumed
+	// campaign never reads a half-applied state. j.mu leads to no
+	// other lock.
+	//pimlint:lockorder — checkpoint rewrite must serialize with entry updates under j.mu for consistent resume snapshots
 	err := journal.Rewrite(j.path, j.header, func(enc *json.Encoder) error {
 		for _, key := range j.order {
 			entry := j.entries[key]

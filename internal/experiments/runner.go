@@ -511,38 +511,64 @@ func (r *Runner) forEachPairCtx(ctx context.Context, gpuIDs, pimIDs []string, fn
 		}
 		return nil
 	}
-	sem := make(chan struct{}, workers)
-	errc := make(chan error, len(jobs))
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			select {
-			case <-ctx.Done():
-				errc <- ctx.Err()
-				return
-			case sem <- struct{}{}:
-			}
-			defer func() { <-sem }()
-			errc <- fn(j.g, j.p)
-		}(j)
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
-	wg.Wait()
-	close(errc)
-	// Prefer a real run error over the bare cancellation it caused.
-	var ctxErr error
-	for err := range errc {
+	// Errors are collected under a mutex rather than a results channel:
+	// every worker send stays non-blocking no matter when the consumer
+	// runs, and a real run error is preferred over the cancellations it
+	// may have caused.
+	var (
+		mu     sync.Mutex
+		runErr error // first non-cancellation error
+		ctxErr error // first cancellation
+	)
+	record := func(err error) {
 		if err == nil {
-			continue
+			return
 		}
+		mu.Lock()
+		defer mu.Unlock()
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			if ctxErr == nil {
 				ctxErr = err
 			}
-			continue
+			return
 		}
-		return err
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	jobc := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobc {
+				if err := ctx.Err(); err != nil {
+					record(err)
+					continue
+				}
+				record(fn(j.g, j.p))
+			}
+		}()
+	}
+dispatch:
+	for _, j := range jobs {
+		select {
+		case jobc <- j:
+		case <-ctx.Done():
+			record(ctx.Err())
+			break dispatch
+		}
+	}
+	close(jobc)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if runErr != nil {
+		return runErr
 	}
 	return ctxErr
 }

@@ -266,9 +266,14 @@ func post(ctx context.Context, client *http.Client, baseURL string, req serve.Re
 		if retryAfter > delay {
 			delay = retryAfter
 		}
+		// A stoppable timer rather than time.After: a canceled run exits
+		// the backoff immediately and releases the timer, instead of
+		// leaving a Retry-After-sized timer (seconds) live per worker.
+		timer := time.NewTimer(delay)
 		select {
-		case <-time.After(delay):
+		case <-timer.C:
 		case <-ctx.Done():
+			timer.Stop()
 			return serve.JobView{}, attempt, ctx.Err()
 		}
 	}

@@ -136,6 +136,11 @@ func (q *queue) Pop() (*Job, bool) {
 		if q.closed {
 			return nil, false
 		}
+		// Cond.Wait atomically releases q.mu while asleep and reacquires
+		// it on wake — the lock is not actually held across the block,
+		// and Close broadcasts under the same condition, so Pop cannot
+		// miss the shutdown wake.
+		//pimlint:lockorder — sync.Cond contract: Wait releases q.mu while blocked; Close broadcasts the wake
 		q.cond.Wait()
 	}
 }

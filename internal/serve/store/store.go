@@ -274,8 +274,14 @@ func (s *Store) Put(digest string, canon json.RawMessage, result []byte) bool {
 	// Disk quota: estimate the appended line, compact if it would bust
 	// the bound (dedup + dropping the double-counted journal usually
 	// shrinks), and degrade if it still does not fit.
+	// Everything below — quota check, compaction, journal append — runs
+	// under s.mu on purpose: an off-lock append could interleave with a
+	// concurrent compaction's journal reset and lose an acknowledged
+	// record. The lock hierarchy is one-way (Store.mu -> Appender.mu,
+	// never back), so the held fsyncs stall writers but cannot deadlock.
 	line := int64(len(digest)+len(canon)+len(result)*4/3) + 128
 	if s.sizeLocked()+line > s.opts.MaxBytes {
+		//pimlint:lockorder — quota compaction must see the same record set the append below extends
 		s.compactLocked()
 		if s.sizeLocked()+line > s.opts.MaxBytes {
 			s.degradeLocked(fmt.Sprintf("disk quota: %d bytes used of %d", s.sizeLocked(), s.opts.MaxBytes))
@@ -284,6 +290,7 @@ func (s *Store) Put(digest string, canon json.RawMessage, result []byte) bool {
 		}
 	}
 
+	//pimlint:lockorder — persist-before-fulfill: the fsync'd append must serialize with compaction under s.mu or a record can be lost to a concurrent journal reset
 	if err := s.app.Append(r); err != nil {
 		s.degradeLocked("append: " + err.Error())
 		s.stats.Dropped++
@@ -294,6 +301,7 @@ func (s *Store) Put(digest string, canon json.RawMessage, result []byte) bool {
 	s.stats.Persisted++
 	s.sinceCompact++
 	if s.sinceCompact >= s.opts.CompactEvery {
+		//pimlint:lockorder — periodic compaction snapshots the record set it just extended; same serialization argument as above
 		s.compactLocked()
 	}
 	s.refreshSizeLocked()
@@ -307,6 +315,7 @@ func (s *Store) Put(digest string, canon json.RawMessage, result []byte) bool {
 func (s *Store) Compact() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//pimlint:lockorder — snapshot rewrite + journal reset must be atomic w.r.t. Put; s.mu leads only to Appender.mu
 	s.compactLocked()
 }
 
@@ -395,6 +404,7 @@ func (s *Store) Stats() Stats {
 func (s *Store) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//pimlint:lockorder — final compaction must exclude concurrent Puts while the journal handle is torn down
 	s.compactLocked()
 	if s.app != nil {
 		s.app.Close()

@@ -1,0 +1,217 @@
+// Package atomicmix flags mixed atomic/plain access to struct fields.
+//
+// A field accessed through sync/atomic is owned by the atomic
+// discipline: one plain load or store racing the atomic ones is a data
+// race the race detector only reports when the schedule cooperates.
+// The analyzer is whole-program because the mix is usually split
+// across packages — the atomic access in the declaring package, the
+// plain one in a consumer. Two rules:
+//
+//   - a field whose address is passed to a sync/atomic function
+//     (atomic.AddUint64(&x.f, 1), atomic.LoadInt64(&x.f), ...) must
+//     not be read, written, or address-taken anywhere else, except
+//     inside init functions and package-level initializers (the
+//     pre-concurrency window);
+//   - a field of an atomic.* type (atomic.Uint64, atomic.Bool, ...)
+//     may only be used as a method receiver — copying or reassigning
+//     the value bypasses the atomicity it exists for. These are
+//     reported per package, no reachability needed.
+//
+// There is deliberately no escape hatch: unlike a justified lock-held
+// fsync, a racing plain access has no sound variant. Fix it by
+// routing the access through sync/atomic or moving it into init.
+package atomicmix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/tools/pimlint/analysis"
+	"repro/tools/pimlint/lintcfg"
+	"repro/tools/pimlint/typeutil"
+)
+
+// New builds the analyzer against a configuration (nil uses defaults).
+// The configuration is accepted for constructor symmetry; the rules
+// are global and need no package scoping — mixed atomic access is a
+// bug wherever it appears.
+func New(cfg *lintcfg.Config) *analysis.Analyzer {
+	if cfg == nil {
+		cfg = lintcfg.Default()
+	}
+	a := &atomicmix{
+		atomicFields: make(map[string]token.Pos),
+		plainUses:    make(map[string][]use),
+	}
+	return &analysis.Analyzer{
+		Name: "atomicmix",
+		Doc: "flag fields accessed both through sync/atomic and plainly\n\n" +
+			"A field touched by sync/atomic functions must have every access " +
+			"go through them (init-time writes excepted), and atomic.*-typed " +
+			"fields may only be used as method receivers; anything else is a " +
+			"data race the race detector may miss.",
+		WholeProgram: true,
+		Run: func(pass *analysis.Pass) (any, error) {
+			a.addPackage(pass)
+			return nil, nil
+		},
+		End: a.finish,
+	}
+}
+
+type atomicmix struct {
+	fset *token.FileSet
+	// atomicFields maps "pkg.Type.field" to the first sync/atomic call
+	// site taking the field's address.
+	atomicFields map[string]token.Pos
+	// plainUses maps the same keys to every other access.
+	plainUses map[string][]use
+}
+
+type use struct {
+	pos  token.Pos
+	init bool // inside an init function or package-level initializer
+}
+
+func (a *atomicmix) addPackage(pass *analysis.Pass) {
+	a.fset = pass.Fset
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				isInit := d.Name.Name == "init" && d.Recv == nil
+				a.scan(pass, info, d.Body, isInit)
+			case *ast.GenDecl:
+				a.scan(pass, info, d, true)
+			}
+		}
+	}
+}
+
+// scan walks one declaration collecting atomic and plain field
+// accesses. Parent relationships (is this selector an atomic-call
+// argument? a method receiver?) are tracked with an explicit stack.
+func (a *atomicmix) scan(pass *analysis.Pass, info *types.Info, root ast.Node, isInit bool) {
+	// sanctioned selectors: &x.f operands of sync/atomic calls, and
+	// receivers of atomic.*-type method calls.
+	sanctioned := make(map[ast.Expr]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isAtomicCall(info, x) {
+				for _, arg := range x.Args {
+					if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+						if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+							if key, ok := fieldKeyOf(info, sel); ok {
+								if _, seen := a.atomicFields[key]; !seen {
+									a.atomicFields[key] = x.Pos()
+								}
+								sanctioned[sel] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			// c.v.Add(1): the outer selector c.v.Add is a method value on
+			// the atomic field; its X is the sanctioned receiver.
+			if s, ok := info.Selections[x]; ok && s.Kind() == types.MethodVal {
+				if inner, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+					sanctioned[inner] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		key, ok := fieldKeyOf(info, sel)
+		if !ok {
+			return true
+		}
+		if fieldTypeIsAtomic(info, sel) {
+			if !sanctioned[sel] && !isInit {
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s has an atomic type; use its methods instead of plain access", key)
+			}
+			return true
+		}
+		if !sanctioned[sel] {
+			a.plainUses[key] = append(a.plainUses[key], use{pos: sel.Sel.Pos(), init: isInit})
+		}
+		return true
+	})
+}
+
+func (a *atomicmix) finish(report func(analysis.Diagnostic)) error {
+	type finding struct {
+		pos token.Pos
+		key string
+	}
+	var findings []finding
+	for key := range a.atomicFields {
+		for _, u := range a.plainUses[key] {
+			if u.init {
+				continue
+			}
+			findings = append(findings, finding{pos: u.pos, key: key})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		report(analysis.Diagnostic{Pos: f.pos, Message: fmt.Sprintf(
+			"field %s is accessed through sync/atomic elsewhere; this plain access races with it "+
+				"(route it through sync/atomic or move it into init)", f.key)})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether the call targets a sync/atomic
+// package-level function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if _, isSel := info.Selections[sel]; isSel {
+		return false // method call, not a qualified identifier
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldKeyOf returns the stable field key when sel selects a struct
+// field of a named type.
+func fieldKeyOf(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	return typeutil.FieldKey(s)
+}
+
+// fieldTypeIsAtomic reports whether the selected field's type is
+// declared in sync/atomic (atomic.Uint64, atomic.Bool, ...).
+func fieldTypeIsAtomic(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return false
+	}
+	named, ok := v.Type().(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,11 @@
+package atoma
+
+import "sync/atomic"
+
+type Counter struct {
+	N uint64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.N, 1)
+}

@@ -1,0 +1,9 @@
+package atomb
+
+import "atoma"
+
+// Read is the cross-package half of the mix: atoma touches Counter.N
+// through sync/atomic, this plain load races with it.
+func Read(c *atoma.Counter) uint64 {
+	return c.N // want `accessed through sync/atomic elsewhere`
+}

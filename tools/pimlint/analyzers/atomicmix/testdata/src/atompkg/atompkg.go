@@ -1,0 +1,49 @@
+package atompkg
+
+import "sync/atomic"
+
+type C struct {
+	n     uint64
+	v     atomic.Uint64
+	plain int
+}
+
+func (c *C) Inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *C) Load() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *C) Mixed() uint64 {
+	return c.n // want `accessed through sync/atomic elsewhere`
+}
+
+func (c *C) MixedWrite() {
+	c.n = 0 // want `accessed through sync/atomic elsewhere`
+}
+
+// init-time writes predate any concurrency: allowed.
+func init() {
+	var c C
+	c.n = 7
+	_ = c
+}
+
+// Methods is the only sanctioned way to touch an atomic.* field.
+func (c *C) Methods() uint64 {
+	c.v.Add(1)
+	return c.v.Load()
+}
+
+// Copying the value out of an atomic.* field bypasses its atomicity.
+func (c *C) Copy() uint64 {
+	x := c.v // want `has an atomic type`
+	return x.Load()
+}
+
+// Unshared fields stay out of both rules.
+func (c *C) Plain() int {
+	return c.plain
+}

@@ -1,0 +1,35 @@
+package ctxflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/tools/pimlint/analysis/analysistest"
+	"repro/tools/pimlint/analyzers/ctxflow"
+	"repro/tools/pimlint/lintcfg"
+)
+
+// TestCtxflow covers the per-function rules from one root: bare sends
+// and receives flagged, a select without a cancellation arm flagged,
+// Done()/struct{}-channel/default arms and range-over-channel accepted,
+// goroutine bodies checked as part of the launcher, functions not
+// reachable from the root ignored, and the escape hatch (justified
+// suppresses, bare is a finding).
+func TestCtxflow(t *testing.T) {
+	cfg := &lintcfg.Config{
+		ConcurrencyPackages: []string{"ctxpkg"},
+		WorkerRoots:         []string{"ctxpkg.Worker"},
+	}
+	analysistest.Run(t, filepath.Join("testdata", "src", "ctxpkg"), ctxflow.New(cfg), "ctxpkg")
+}
+
+// TestCtxflowCrossPackage roots the walk in one package and expects
+// the finding in another: reachability is whole-program.
+func TestCtxflowCrossPackage(t *testing.T) {
+	cfg := &lintcfg.Config{
+		ConcurrencyPackages: []string{"ctxroot", "ctxdep"},
+		WorkerRoots:         []string{"ctxroot.Run"},
+	}
+	analysistest.RunPackages(t, filepath.Join("testdata", "src"), ctxflow.New(cfg),
+		[]string{"ctxdep", "ctxroot"})
+}

@@ -1,0 +1,9 @@
+package ctxdep
+
+type Queue struct{ C chan int }
+
+// Next blocks with no cancellation arm; ctxroot.Run reaches it across
+// the package boundary.
+func (q *Queue) Next() int {
+	return <-q.C // want `not cancellable`
+}

@@ -1,0 +1,75 @@
+package ctxpkg
+
+// canceler is shaped like context.Context's cancellation side without
+// importing it: ctxflow keys on the Done() call, not the named type.
+type canceler struct{ done chan int }
+
+func (c *canceler) Done() <-chan int { return c.done }
+
+type Pool struct {
+	work chan int
+	quit chan struct{}
+}
+
+// Worker is the configured root; everything below is reachable from it.
+func Worker(c *canceler, p *Pool) {
+	p.bare()
+	p.selects(c)
+	p.drain()
+	p.spawn()
+	p.buffered()
+	p.bareAnnot()
+}
+
+func (p *Pool) bare() {
+	<-p.work    // want `not cancellable`
+	p.work <- 1 // want `not cancellable`
+}
+
+func (p *Pool) selects(c *canceler) {
+	select { // want `no cancellation arm`
+	case v := <-p.work:
+		_ = v
+	}
+	select {
+	case p.work <- 1:
+	case <-c.Done():
+	}
+	select {
+	case <-p.work:
+	case <-p.quit:
+	}
+	select {
+	case p.work <- 2:
+	default:
+	}
+}
+
+// drain ranges over the channel: the close-drain idiom is accepted.
+func (p *Pool) drain() {
+	for v := range p.work {
+		_ = v
+	}
+}
+
+// spawn's goroutine is service code too: its body is checked as part
+// of the launching function.
+func (p *Pool) spawn() {
+	go func() {
+		<-p.work // want `not cancellable`
+	}()
+}
+
+func (p *Pool) buffered() {
+	//pimlint:ctxflow — p.work is buffered and this fixture's only producer; the send cannot block
+	p.work <- 3
+}
+
+func (p *Pool) bareAnnot() {
+	p.work <- 4 // want "needs a justification" //pimlint:ctxflow
+}
+
+// unreached is not called from any root: ctxflow does not look at it.
+func unreached(p *Pool) {
+	<-p.work
+}

@@ -1,0 +1,11 @@
+package ctxroot
+
+import "ctxdep"
+
+// Run is the configured root: the finding lands in ctxdep, proving the
+// reachability crosses packages.
+func Run(q *ctxdep.Queue) {
+	for {
+		_ = q.Next()
+	}
+}

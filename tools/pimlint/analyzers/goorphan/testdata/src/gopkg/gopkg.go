@@ -1,0 +1,60 @@
+package gopkg
+
+import "sync"
+
+type P struct {
+	wg sync.WaitGroup
+	n  int
+}
+
+// Tracked signals the WaitGroup directly from the literal's body.
+func (p *P) Tracked() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.n++
+	}()
+	p.wg.Wait()
+}
+
+// TrackedNamed launches a named method whose body signals the group.
+func (p *P) TrackedNamed() {
+	p.wg.Add(1)
+	go p.loop()
+	p.wg.Wait()
+}
+
+func (p *P) loop() {
+	defer p.wg.Done()
+}
+
+// TrackedTransitive reaches Done through a callee of the literal.
+func (p *P) TrackedTransitive() {
+	p.wg.Add(1)
+	go func() {
+		p.loop()
+	}()
+	p.wg.Wait()
+}
+
+func (p *P) Orphan() {
+	go func() { // want `not visibly tracked`
+		p.n++
+	}()
+}
+
+func (p *P) OrphanNamed() {
+	go p.leak() // want `not visibly tracked`
+}
+
+func (p *P) leak() {}
+
+// Detached carries the escape hatch with a reason: no finding.
+func (p *P) Detached() {
+	//pimlint:detached — process-lifetime ticker owned by the fixture; nothing ever waits for it
+	go p.leak()
+}
+
+func (p *P) DetachedBare() {
+	go p.leak() // want "needs a justification" //pimlint:detached
+}

@@ -1,0 +1,662 @@
+// Package lockorder builds a whole-program lock-acquisition graph over
+// the concurrency packages and flags the two shapes that turn a mutex
+// into a deadlock: cyclic nested acquisition, and blocking while a
+// lock is held.
+//
+// Within every function (and every function literal, analyzed as its
+// own scope) the analyzer finds lock regions: the source interval from
+// a sync.Mutex/RWMutex Lock/RLock call to the matching same-lock
+// Unlock, or to the end of the scope for the defer-unlock idiom. Locks
+// are identified by the stable field key "pkgpath.TypeName.field"
+// (package-level mutexes by "pkgpath.var", locals by a function-scoped
+// name), so the same lock is one graph node no matter which method
+// acquires it.
+//
+// Inside a region it flags, directly:
+//
+//   - channel sends, receives, blocking selects (no default arm) and
+//     ranges over channels;
+//   - calls that block by contract: (*sync.Cond).Wait,
+//     (*sync.WaitGroup).Wait, (*os.File).Sync (fsync), time.Sleep;
+//   - re-acquisition of the held lock (self-deadlock).
+//
+// and, through the callgraph (tools/pimlint/callgraph), transitively:
+// a lock-held call into any function whose reachable closure contains
+// one of the blocking operations above, or re-acquires the held lock.
+// Nested acquisitions of other locks — direct or reached through
+// calls — become edges of the lock graph; a cycle in that graph is the
+// classic AB/BA deadlock and is reported once per cycle.
+//
+// `go` statements inside a region are skipped (the goroutine body does
+// not run under the caller's lock), as are blocking operations and
+// lock events inside goroutine-launching literals when summarizing a
+// function for its callers. Function literals that are not launched
+// with `go` are treated as part of the enclosing function: most are
+// invoked synchronously (iterator callbacks) and skipping them would
+// miss real holds.
+//
+// The escape hatch is //pimlint:lockorder on the flagged line or the
+// line above, and it must carry a justification — the annotation is an
+// audited claim (e.g. "fsync under the lock is the persist-before-
+// fulfill contract"). Annotated call sites are also pruned from the
+// analyzer's call graph, so a justified hold does not propagate into
+// the lock graph.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/tools/pimlint/analysis"
+	"repro/tools/pimlint/annot"
+	"repro/tools/pimlint/callgraph"
+	"repro/tools/pimlint/lintcfg"
+	"repro/tools/pimlint/typeutil"
+)
+
+// Annotation suppresses a lockorder diagnostic with a justification.
+const Annotation = "pimlint:lockorder"
+
+// lockCalls maps the sync acquisition/release methods to their role.
+var lockCalls = map[string]struct{ acquire, release bool }{
+	"(*sync.Mutex).Lock":      {acquire: true},
+	"(*sync.Mutex).Unlock":    {release: true},
+	"(*sync.RWMutex).Lock":    {acquire: true},
+	"(*sync.RWMutex).RLock":   {acquire: true},
+	"(*sync.RWMutex).Unlock":  {release: true},
+	"(*sync.RWMutex).RUnlock": {release: true},
+}
+
+// blockingCalls are functions that block by contract, keyed by
+// types.Func FullName.
+var blockingCalls = map[string]string{
+	"(*os.File).Sync":        "fsync",
+	"(*sync.Cond).Wait":      "Cond.Wait",
+	"(*sync.WaitGroup).Wait": "WaitGroup.Wait",
+	"time.Sleep":             "sleep",
+}
+
+// New builds the analyzer against a configuration (nil uses defaults).
+func New(cfg *lintcfg.Config) *analysis.Analyzer {
+	if cfg == nil {
+		cfg = lintcfg.Default()
+	}
+	l := &lockorder{
+		cfg:   cfg,
+		annot: annot.NewSet(Annotation),
+		funcs: make(map[string]*funcFacts),
+	}
+	l.builder = callgraph.NewBuilder(l.annotated)
+	return &analysis.Analyzer{
+		Name: "lockorder",
+		Doc: "flag lock-order cycles and blocking operations under held locks\n\n" +
+			"Builds the lock-acquisition graph of the concurrency packages and " +
+			"reports nested-acquisition cycles, lock-held channel operations, " +
+			"and lock-held calls reaching Cond.Wait/WaitGroup.Wait/fsync/sleep. " +
+			"Suppress an audited hold with //pimlint:lockorder <justification>.",
+		WholeProgram: true,
+		Run: func(pass *analysis.Pass) (any, error) {
+			l.addPackage(pass)
+			return nil, nil
+		},
+		End: l.finish,
+	}
+}
+
+type lockorder struct {
+	cfg     *lintcfg.Config
+	builder *callgraph.Builder
+	fset    *token.FileSet
+	annot   *annot.Set
+	funcs   map[string]*funcFacts
+	// directs are blocking operations observed directly inside lock
+	// regions, reported in End so ordering and suppression are uniform.
+	directs []direct
+}
+
+// direct is one blocking operation directly inside a lock region.
+type direct struct {
+	pos  token.Pos
+	key  string
+	desc string
+	pkg  string
+}
+
+// funcFacts summarizes one declared function for the whole-program
+// phase. Summary fields (acquires, blocks) describe what happens on
+// the caller's stack when the function is called; lock events and
+// blocking operations inside goroutine-launching literals are kept out
+// of them but still produce regions and direct diagnostics.
+type funcFacts struct {
+	name     string
+	pkg      string
+	acquires map[string]token.Pos // lock key -> first acquisition site
+	blocks   []blockFact          // blocking ops in the body
+	regions  []*region
+}
+
+type blockFact struct {
+	pos  token.Pos
+	desc string // e.g. "channel send", "fsync"
+}
+
+// region is one lock-held source interval and the calls made inside
+// it.
+type region struct {
+	key   string    // lock identity
+	pos   token.Pos // the Lock call
+	async bool      // region lives inside a go-launched literal
+	calls []heldCall
+	// nested are direct acquisitions of other locks inside the region.
+	nested []nestedLock
+}
+
+type heldCall struct {
+	pos    token.Pos
+	callee string
+}
+
+type nestedLock struct {
+	pos token.Pos
+	key string
+}
+
+// annotated is the callgraph skip callback: edges from annotated call
+// sites are pruned, giving a justified //pimlint:lockorder the same
+// reachability meaning //pimlint:coldpath has for hotalloc.
+func (l *lockorder) annotated(posn token.Position) bool {
+	return l.annot.Covers(posn)
+}
+
+func (l *lockorder) addPackage(pass *analysis.Pass) {
+	l.fset = pass.Fset
+	for _, file := range pass.Files {
+		l.annot.AddFile(pass.Fset, file)
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ff := &funcFacts{
+				name:     obj.FullName(),
+				pkg:      pass.Pkg.Path(),
+				acquires: make(map[string]token.Pos),
+			}
+			l.funcs[obj.FullName()] = ff
+			l.scanScope(pass.TypesInfo, fd.Body, ff, false)
+		}
+	}
+	l.builder.AddPackage(pass.Fset, pass.Pkg, pass.Files, pass.TypesInfo)
+}
+
+// lockEvent is one Lock/Unlock call at a single literal scope.
+type lockEvent struct {
+	pos      token.Pos
+	end      token.Pos // end of the call expression
+	key      string
+	release  bool
+	deferred bool
+}
+
+// scanScope analyzes one function or function-literal body: it
+// computes the scope's lock regions and their contents, records the
+// function's blocking summary (unless async), and recurses into nested
+// literals.
+func (l *lockorder) scanScope(info *types.Info, body *ast.BlockStmt, ff *funcFacts, async bool) {
+	var (
+		events     []lockEvent
+		lits       []*ast.FuncLit
+		asyncLits  = make(map[*ast.FuncLit]bool)
+		deferCalls = make(map[*ast.CallExpr]bool)
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, x)
+			return false
+		case *ast.GoStmt:
+			if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				asyncLits[fl] = true
+			}
+		case *ast.DeferStmt:
+			deferCalls[x.Call] = true
+		case *ast.CallExpr:
+			if key, role, ok := l.lockCall(info, x, ff.name); ok {
+				events = append(events, lockEvent{
+					pos:      x.Pos(),
+					end:      x.End(),
+					key:      key,
+					release:  role.release,
+					deferred: deferCalls[x],
+				})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	// Match each acquisition with the first later same-lock non-deferred
+	// release; defer-unlock (or no unlock) holds to the end of the scope.
+	consumed := make([]bool, len(events))
+	type span struct {
+		reg        *region
+		start, end token.Pos
+	}
+	var spans []span
+	for i, ev := range events {
+		if ev.release {
+			continue
+		}
+		if !async {
+			if _, ok := ff.acquires[ev.key]; !ok {
+				ff.acquires[ev.key] = ev.pos
+			}
+		}
+		end := body.End()
+		for j := i + 1; j < len(events); j++ {
+			if events[j].release && !events[j].deferred && !consumed[j] && events[j].key == ev.key {
+				end = events[j].pos
+				consumed[j] = true
+				break
+			}
+		}
+		reg := &region{key: ev.key, pos: ev.pos, async: async}
+		ff.regions = append(ff.regions, reg)
+		spans = append(spans, span{reg: reg, start: ev.end, end: end})
+	}
+
+	// Scope-wide blocking summary and per-region contents in one walk.
+	regionAt := func(pos token.Pos) *region {
+		for _, s := range spans {
+			if pos > s.start && pos < s.end {
+				return s.reg
+			}
+		}
+		return nil
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// The goroutine body does not run under this scope's locks,
+			// and the launch itself does not block.
+			return false
+		case *ast.SelectStmt:
+			if hasDefault(x) {
+				return false // non-blocking poll
+			}
+			if !async {
+				ff.blocks = append(ff.blocks, blockFact{pos: x.Pos(), desc: "blocking select"})
+			}
+			if reg := regionAt(x.Pos()); reg != nil {
+				l.directs = append(l.directs, direct{pos: x.Pos(), key: reg.key, desc: "blocking select", pkg: ff.pkg})
+			}
+			return false
+		case *ast.SendStmt:
+			if !async {
+				ff.blocks = append(ff.blocks, blockFact{pos: x.Pos(), desc: "channel send"})
+			}
+			if reg := regionAt(x.Pos()); reg != nil {
+				l.directs = append(l.directs, direct{pos: x.Pos(), key: reg.key, desc: "channel send", pkg: ff.pkg})
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if !async {
+					ff.blocks = append(ff.blocks, blockFact{pos: x.Pos(), desc: "channel receive"})
+				}
+				if reg := regionAt(x.Pos()); reg != nil {
+					l.directs = append(l.directs, direct{pos: x.Pos(), key: reg.key, desc: "channel receive", pkg: ff.pkg})
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					if !async {
+						ff.blocks = append(ff.blocks, blockFact{pos: x.Pos(), desc: "range over channel"})
+					}
+					if reg := regionAt(x.Pos()); reg != nil {
+						l.directs = append(l.directs, direct{pos: x.Pos(), key: reg.key, desc: "range over channel", pkg: ff.pkg})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			reg := regionAt(x.Pos())
+			if key, role, ok := l.lockCall(info, x, ff.name); ok {
+				if reg != nil && role.acquire {
+					reg.nested = append(reg.nested, nestedLock{pos: x.Pos(), key: key})
+				}
+				return true
+			}
+			name := calleeName(info, x)
+			if name == "" {
+				return true
+			}
+			if desc, ok := blockingCalls[name]; ok {
+				if !async {
+					ff.blocks = append(ff.blocks, blockFact{pos: x.Pos(), desc: desc})
+				}
+				if reg != nil {
+					l.directs = append(l.directs, direct{pos: x.Pos(), key: reg.key, desc: desc, pkg: ff.pkg})
+				}
+				return true
+			}
+			if reg != nil {
+				reg.calls = append(reg.calls, heldCall{pos: x.Pos(), callee: name})
+			}
+		}
+		return true
+	})
+
+	for _, fl := range lits {
+		l.scanScope(info, fl.Body, ff, async || asyncLits[fl])
+	}
+}
+
+// lockCall reports whether the call is a sync.Mutex/RWMutex
+// acquisition or release, with the lock's stable identity.
+func (l *lockorder) lockCall(info *types.Info, call *ast.CallExpr, fnName string) (string, struct{ acquire, release bool }, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", struct{ acquire, release bool }{}, false
+	}
+	var fn *types.Func
+	if s, ok := info.Selections[sel]; ok {
+		fn, _ = s.Obj().(*types.Func)
+	} else if f, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		fn = f
+	}
+	if fn == nil {
+		return "", struct{ acquire, release bool }{}, false
+	}
+	role, ok := lockCalls[fn.FullName()]
+	if !ok {
+		return "", struct{ acquire, release bool }{}, false
+	}
+	return l.lockKey(info, sel.X, fnName), role, true
+}
+
+// lockKey names the mutex behind expr: struct fields get the stable
+// typeutil key, package-level variables "pkgpath.name", and locals a
+// function-scoped name. Anything else falls back to the expression
+// text.
+func (l *lockorder) lockKey(info *types.Info, expr ast.Expr, fnName string) string {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok {
+			if key, ok := typeutil.FieldKey(s); ok {
+				return key
+			}
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+			return fnName + "." + v.Name()
+		}
+	}
+	return types.ExprString(expr)
+}
+
+// calleeName resolves a call expression to a types.Func FullName, the
+// same way the callgraph does; "" when unresolvable (function values).
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn.FullName()
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[fun]; ok {
+			if fn, ok := s.Obj().(*types.Func); ok {
+				return fn.FullName()
+			}
+			return ""
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn.FullName()
+		}
+	}
+	return ""
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// summary is the transitive closure of one function: every lock it may
+// acquire and every way it may block, on the caller's stack.
+type summary struct {
+	acquires map[string]bool
+	blocks   []string // "desc in fnName", first occurrence order
+}
+
+func (l *lockorder) finish(report func(analysis.Diagnostic)) error {
+	graph := l.builder.Finish()
+
+	suppress := func(pos token.Pos) bool {
+		return l.annot.Covers(l.fset.Position(pos))
+	}
+	diag := func(pos token.Pos, format string, args ...any) {
+		if suppress(pos) {
+			return
+		}
+		report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+
+	memo := make(map[string]*summary)
+	var summarize func(name string, onstack map[string]bool) *summary
+	summarize = func(name string, onstack map[string]bool) *summary {
+		if s, ok := memo[name]; ok {
+			return s
+		}
+		if onstack[name] {
+			return &summary{acquires: map[string]bool{}}
+		}
+		onstack[name] = true
+		defer delete(onstack, name)
+		s := &summary{acquires: map[string]bool{}}
+		if desc, ok := blockingCalls[name]; ok {
+			s.blocks = append(s.blocks, desc)
+		}
+		if ff := l.funcs[name]; ff != nil {
+			for key := range ff.acquires {
+				s.acquires[key] = true
+			}
+			for _, b := range ff.blocks {
+				s.blocks = append(s.blocks, b.desc+" in "+shortName(name))
+			}
+		}
+		for _, node := range graph.Lookup(name) {
+			for _, callee := range node.CallNames() {
+				if callee == name {
+					continue
+				}
+				cs := summarize(callee, onstack)
+				for key := range cs.acquires {
+					s.acquires[key] = true
+				}
+				if len(s.blocks) == 0 {
+					s.blocks = append(s.blocks, cs.blocks...)
+				}
+			}
+		}
+		memo[name] = s
+		return s
+	}
+
+	// Direct in-region blocking operations.
+	for _, d := range l.directs {
+		if l.cfg.ConcurrencyPackage(d.pkg) {
+			diag(d.pos, "%s while holding %s; blocking under a lock risks deadlock (annotate //%s <why> if intended)",
+				d.desc, shortKey(d.key), Annotation)
+		}
+	}
+
+	// Region calls: transitive blocking, re-acquisition, and lock-graph
+	// edges.
+	edges := make(map[string]map[string]token.Pos)
+	addEdge := func(from, to string, pos token.Pos) {
+		m := edges[from]
+		if m == nil {
+			m = make(map[string]token.Pos)
+			edges[from] = m
+		}
+		if _, ok := m[to]; !ok {
+			m[to] = pos
+		}
+	}
+
+	var names []string
+	for name := range l.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ff := l.funcs[name]
+		if !l.cfg.ConcurrencyPackage(ff.pkg) {
+			continue
+		}
+		for _, reg := range ff.regions {
+			for _, nl := range reg.nested {
+				if suppress(nl.pos) {
+					continue
+				}
+				if nl.key == reg.key {
+					diag(nl.pos, "%s is acquired again while already held (self-deadlock)", shortKey(reg.key))
+					continue
+				}
+				addEdge(reg.key, nl.key, nl.pos)
+			}
+			for _, hc := range reg.calls {
+				if suppress(hc.pos) {
+					continue
+				}
+				s := summarize(hc.callee, map[string]bool{})
+				if s.acquires[reg.key] {
+					diag(hc.pos, "call to %s while holding %s can reacquire it (self-deadlock)",
+						shortName(hc.callee), shortKey(reg.key))
+					continue
+				}
+				var keys []string
+				for key := range s.acquires {
+					keys = append(keys, key)
+				}
+				sort.Strings(keys)
+				for _, key := range keys {
+					addEdge(reg.key, key, hc.pos)
+				}
+				if len(s.blocks) > 0 {
+					diag(hc.pos, "call to %s while holding %s reaches a blocking operation (%s); "+
+						"release the lock first or annotate //%s <why>",
+						shortName(hc.callee), shortKey(reg.key), s.blocks[0], Annotation)
+				}
+			}
+		}
+	}
+
+	// Cycle detection over the lock graph.
+	reportCycles(edges, diag)
+
+	// Bare annotations are findings: the hatch requires a reason.
+	for _, e := range l.annot.Bare() {
+		report(analysis.Diagnostic{Pos: e.Pos, Message: fmt.Sprintf(
+			"//%s needs a justification on the annotation line", Annotation)})
+	}
+	return nil
+}
+
+// reportCycles finds cycles in the lock graph with a DFS and reports
+// each once, anchored at the edge that closes it.
+func reportCycles(edges map[string]map[string]token.Pos, diag func(token.Pos, string, ...any)) {
+	var locks []string
+	for from := range edges {
+		locks = append(locks, from)
+	}
+	sort.Strings(locks)
+	seen := make(map[string]bool) // canonical cycle signatures
+
+	var path []string
+	onPath := make(map[string]int)
+	var dfs func(lock string)
+	dfs = func(lock string) {
+		onPath[lock] = len(path)
+		path = append(path, lock)
+		var next []string
+		for to := range edges[lock] {
+			next = append(next, to)
+		}
+		sort.Strings(next)
+		for _, to := range next {
+			if i, ok := onPath[to]; ok {
+				cycle := append(append([]string{}, path[i:]...), to)
+				sig := canonicalCycle(cycle[:len(cycle)-1])
+				if !seen[sig] {
+					seen[sig] = true
+					short := make([]string, len(cycle))
+					for j, k := range cycle {
+						short[j] = shortKey(k)
+					}
+					diag(edges[lock][to], "lock-order cycle: %s", strings.Join(short, " -> "))
+				}
+				continue
+			}
+			if edges[to] != nil {
+				dfs(to)
+			}
+		}
+		path = path[:len(path)-1]
+		delete(onPath, lock)
+	}
+	for _, lock := range locks {
+		dfs(lock)
+	}
+}
+
+// canonicalCycle rotates the cycle so its smallest lock comes first,
+// giving every traversal of the same cycle one signature.
+func canonicalCycle(cycle []string) string {
+	if len(cycle) == 0 {
+		return ""
+	}
+	min := 0
+	for i, k := range cycle {
+		if k < cycle[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string{}, cycle[min:]...), cycle[:min]...)
+	return strings.Join(rot, "|")
+}
+
+// shortKey trims the repository module prefix from a lock key for
+// readable diagnostics.
+func shortKey(key string) string {
+	return strings.TrimPrefix(key, "repro/")
+}
+
+// shortName trims the module prefix inside a types.Func FullName.
+func shortName(name string) string {
+	return strings.ReplaceAll(name, "repro/", "")
+}

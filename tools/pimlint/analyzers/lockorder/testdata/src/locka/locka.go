@@ -1,0 +1,11 @@
+package locka
+
+import "sync"
+
+// Mu is the package-level lock the lockb fixtures nest against.
+var Mu sync.Mutex
+
+// WaitFor blocks on wg; lockb calls it while holding its own lock.
+func WaitFor(wg *sync.WaitGroup) {
+	wg.Wait()
+}

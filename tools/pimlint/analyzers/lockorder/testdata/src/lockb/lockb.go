@@ -1,0 +1,34 @@
+package lockb
+
+import (
+	"sync"
+
+	"locka"
+)
+
+var Mu sync.Mutex
+
+// AB nests lockb.Mu inside locka.Mu; together with BA this is the
+// classic AB/BA deadlock. The report is anchored at the edge that
+// closes the cycle, in BA.
+func AB() {
+	locka.Mu.Lock()
+	Mu.Lock()
+	Mu.Unlock()
+	locka.Mu.Unlock()
+}
+
+func BA() {
+	Mu.Lock()
+	defer Mu.Unlock()
+	locka.Mu.Lock() // want `lock-order cycle`
+	locka.Mu.Unlock()
+}
+
+// HeldWait reaches a WaitGroup.Wait through a cross-package call while
+// holding lockb.Mu.
+func HeldWait(wg *sync.WaitGroup) {
+	Mu.Lock()
+	defer Mu.Unlock()
+	locka.WaitFor(wg) // want `reaches a blocking operation`
+}

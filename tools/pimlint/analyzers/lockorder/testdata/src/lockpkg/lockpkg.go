@@ -1,0 +1,115 @@
+package lockpkg
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	c  chan int
+}
+
+func (s *S) SendHeld(v int) {
+	s.mu.Lock()
+	s.c <- v // want `channel send while holding`
+	s.mu.Unlock()
+}
+
+func (s *S) RecvHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.c // want `channel receive while holding`
+}
+
+func (s *S) SelHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while holding`
+	case v := <-s.c:
+		_ = v
+	}
+}
+
+func (s *S) RangeHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.c { // want `range over channel while holding`
+		_ = v
+	}
+}
+
+func (s *S) CondHeld(c *sync.Cond) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.Wait() // want `Cond.Wait while holding`
+}
+
+func (s *S) Twice() {
+	s.mu.Lock()
+	s.mu.Lock() // want `acquired again while already held`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *S) Again() {
+	s.mu.Lock()
+	s.helper() // want `can reacquire it`
+	s.mu.Unlock()
+}
+
+func (s *S) helper() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func (s *S) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drain() // want `reaches a blocking operation`
+}
+
+func (s *S) drain() {
+	for v := range s.c {
+		_ = v
+	}
+}
+
+// Released sends after the unlock: no lock is held at the send.
+func (s *S) Released(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.c <- v
+}
+
+// Spawn launches the send in a goroutine: it does not run under the
+// caller's lock.
+func (s *S) Spawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.c <- 1
+	}()
+}
+
+// Poll uses a default arm: a non-blocking probe is fine under the lock.
+func (s *S) Poll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.c:
+		_ = v
+	default:
+	}
+}
+
+// Justified documents an audited hold: suppressed, no finding.
+func (s *S) Justified(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//pimlint:lockorder — s.c is buffered to the queue bound and drained by the owner; the send cannot block
+	s.c <- v
+}
+
+func (s *S) Bare(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c <- v // want "needs a justification" //pimlint:lockorder
+}

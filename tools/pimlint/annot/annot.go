@@ -1,0 +1,101 @@
+// Package annot indexes pimlint suppression annotations.
+//
+// The concurrency analyzers (lockorder, ctxflow, goorphan) share one
+// escape-hatch convention: a //pimlint:<marker> comment on the flagged
+// line or the line above suppresses the diagnostic, and the comment
+// must carry a justification — the annotation is an audited claim, and
+// a bare marker is itself a finding. This package factors the scanning
+// and lookup out of the analyzers so the convention cannot drift
+// between them.
+package annot
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Entry is one annotation occurrence.
+type Entry struct {
+	// Pos is the comment's position, for reporting bare markers.
+	Pos token.Pos
+	// Justification is the text following the marker, trimmed of
+	// punctuation; empty when the author gave no reason.
+	Justification string
+}
+
+// Set indexes every occurrence of one marker by file and line.
+type Set struct {
+	marker string
+	files  map[string]map[int]Entry
+}
+
+// NewSet returns an empty index for marker (e.g. "pimlint:lockorder").
+func NewSet(marker string) *Set {
+	return &Set{marker: marker, files: make(map[string]map[int]Entry)}
+}
+
+// Marker returns the marker this set scans for.
+func (s *Set) Marker() string { return s.marker }
+
+// AddFile scans one file's comments for the marker. The annotation is
+// indexed at the comment's last line, so both a trailing comment and a
+// comment on the line above the flagged construct cover it (see At).
+func (s *Set) AddFile(fset *token.FileSet, file *ast.File) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			i := strings.Index(c.Text, s.marker)
+			if i < 0 {
+				continue
+			}
+			just := c.Text[i+len(s.marker):]
+			just = strings.TrimSuffix(strings.TrimSpace(just), "*/")
+			just = strings.TrimSpace(strings.TrimLeft(just, ":—–- \t"))
+			posn := fset.Position(c.End())
+			lines := s.files[posn.Filename]
+			if lines == nil {
+				lines = make(map[int]Entry)
+				s.files[posn.Filename] = lines
+			}
+			lines[posn.Line] = Entry{Pos: c.Pos(), Justification: just}
+		}
+	}
+}
+
+// At returns the annotation covering posn: one on the same line or on
+// the line directly above (the same convention //pimlint:coldpath
+// uses).
+func (s *Set) At(posn token.Position) (Entry, bool) {
+	lines := s.files[posn.Filename]
+	if lines == nil {
+		return Entry{}, false
+	}
+	if e, ok := lines[posn.Line]; ok {
+		return e, true
+	}
+	e, ok := lines[posn.Line-1]
+	return e, ok
+}
+
+// Covers reports whether posn carries the annotation, justified or not.
+func (s *Set) Covers(posn token.Position) bool {
+	_, ok := s.At(posn)
+	return ok
+}
+
+// Bare returns every occurrence with an empty justification, in
+// position order. Each is a finding in its own right: the escape
+// hatches buy suppression only together with a reason.
+func (s *Set) Bare() []Entry {
+	var out []Entry
+	for _, lines := range s.files {
+		for _, e := range lines {
+			if e.Justification == "" {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}

@@ -1,0 +1,68 @@
+package annot
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const src = `package p
+
+//pimlint:lockorder — fsync under the lock is the durability contract
+func a() {}
+
+func b() { _ = 0 } //pimlint:lockorder
+
+func c() {} // unrelated comment
+
+//pimlint:detached
+func d() {}
+`
+
+func TestSet(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSet("pimlint:lockorder")
+	s.AddFile(fset, f)
+
+	line := func(l int) token.Position {
+		return token.Position{Filename: "x.go", Line: l}
+	}
+
+	// Annotation on the line above func a (line 4).
+	e, ok := s.At(line(4))
+	if !ok {
+		t.Fatalf("expected annotation covering line 4")
+	}
+	if want := "fsync under the lock is the durability contract"; e.Justification != want {
+		t.Errorf("justification = %q, want %q", e.Justification, want)
+	}
+
+	// Trailing annotation on func b's own line (line 6), bare.
+	e, ok = s.At(line(6))
+	if !ok {
+		t.Fatalf("expected annotation covering line 6")
+	}
+	if e.Justification != "" {
+		t.Errorf("justification = %q, want empty", e.Justification)
+	}
+
+	// Unrelated comment and a different marker do not cover.
+	if s.Covers(line(8)) {
+		t.Errorf("line 8 should not be covered")
+	}
+	if s.Covers(line(11)) {
+		t.Errorf("pimlint:detached must not satisfy the lockorder marker")
+	}
+
+	bare := s.Bare()
+	if len(bare) != 1 {
+		t.Fatalf("Bare() = %d entries, want 1", len(bare))
+	}
+	if posn := fset.Position(bare[0].Pos); posn.Line != 6 {
+		t.Errorf("bare annotation at line %d, want 6", posn.Line)
+	}
+}

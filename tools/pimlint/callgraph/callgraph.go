@@ -252,3 +252,9 @@ func (n *Node) sortedCalls() []string {
 
 // Calls reports whether the node has a recorded edge to fn (tests).
 func (n *Node) Calls(fn *types.Func) bool { return n.calls[fn.FullName()] }
+
+// CallNames returns the node's callee FullNames in a stable order. It
+// includes edges to functions outside the analyzed set (standard
+// library calls), which have no Node of their own — the concurrency
+// analyzers match those by name (e.g. "(*os.File).Sync").
+func (n *Node) CallNames() []string { return n.sortedCalls() }

@@ -64,6 +64,18 @@ type Config struct {
 	// knobs that are intentionally declared ahead of their consumer or
 	// consumed only by generated artifacts.
 	ConfigExempt []string
+
+	// ConcurrencyPackages lists the import paths held to the
+	// concurrency disciplines (lockorder, goorphan): the service layer,
+	// its persistence, and the campaign harness, where mutex-guarded
+	// types, worker pools and fsync'd journals interact.
+	ConcurrencyPackages []string
+
+	// WorkerRoots lists the service entry points — HTTP handlers and
+	// worker-loop bodies — in types.Func FullName form. ctxflow
+	// requires every blocking channel operation reachable from them to
+	// be cancellable (a ctx.Done()/close-signal select arm).
+	WorkerRoots []string
 }
 
 // Default returns the compiled-in configuration, kept in sync with the
@@ -122,6 +134,25 @@ func Default() *Config {
 			"Memory.BusWidthB",
 			"PIM.RFSize",
 			"Cache.TotalBytes",
+		},
+		ConcurrencyPackages: []string{
+			"repro/internal/serve",
+			"repro/internal/serve/store",
+			"repro/internal/serve/loadgen",
+			"repro/internal/journal",
+			"repro/internal/experiments",
+			"repro/internal/telemetry",
+			"repro/cmd/pimserve",
+		},
+		WorkerRoots: []string{
+			"(*repro/internal/serve.Server).handleSimulate",
+			"(*repro/internal/serve.Server).handleJob",
+			"(*repro/internal/serve.Server).handleStream",
+			"(*repro/internal/serve.Server).handleCancel",
+			"(*repro/internal/serve.Server).worker",
+			"(*repro/internal/serve.Server).warmLoad",
+			"repro/internal/serve/loadgen.Run",
+			"(*repro/internal/experiments.Runner).forEachPairCtx",
 		},
 	}
 }
@@ -205,6 +236,10 @@ func Parse(text string) (*Config, error) {
 			cur = &cfg.ConfigPackages
 		case "config_exempt":
 			cur = &cfg.ConfigExempt
+		case "concurrency_packages":
+			cur = &cfg.ConcurrencyPackages
+		case "worker_roots":
+			cur = &cfg.WorkerRoots
 		default:
 			return nil, fmt.Errorf("line %d: unknown key %q", ln+1, key)
 		}
@@ -270,6 +305,12 @@ func (c *Config) ConfigExempted(typeName, field string) bool {
 		}
 	}
 	return false
+}
+
+// ConcurrencyPackage reports whether the package at importPath is held
+// to the concurrency disciplines (lockorder, goorphan).
+func (c *Config) ConcurrencyPackage(importPath string) bool {
+	return containsPath(c.ConcurrencyPackages, importPath)
 }
 
 // containsPath matches importPath against exact entries or trailing

@@ -17,6 +17,11 @@ nilhandle_types:
   - repro/internal/telemetry.Counter
 cyclesafe_exempt:
   - DRAMRetryCycles
+concurrency_packages:
+  - repro/internal/serve
+  - repro/internal/journal
+worker_roots:
+  - "(*repro/internal/serve.Server).worker"   # FullNames stay quoted
 `)
 	if err != nil {
 		t.Fatal(err)
@@ -25,6 +30,8 @@ cyclesafe_exempt:
 		DeterministicPackages: []string{"repro/internal/sim", "repro/internal/dram"},
 		NilHandleTypes:        []string{"repro/internal/telemetry.Counter"},
 		CycleExempt:           []string{"DRAMRetryCycles"},
+		ConcurrencyPackages:   []string{"repro/internal/serve", "repro/internal/journal"},
+		WorkerRoots:           []string{"(*repro/internal/serve.Server).worker"},
 	}
 	if !reflect.DeepEqual(cfg, want) {
 		t.Fatalf("parse:\n got %+v\nwant %+v", cfg, want)
@@ -58,6 +65,21 @@ func TestDeterministicMatching(t *testing.T) {
 	} {
 		if got := cfg.Deterministic(path); got != want {
 			t.Errorf("Deterministic(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestConcurrencyPackageMatching(t *testing.T) {
+	cfg := &Config{ConcurrencyPackages: []string{"repro/internal/serve/...", "repro/internal/journal"}}
+	for path, want := range map[string]bool{
+		"repro/internal/serve":         true,
+		"repro/internal/serve/store":   true, // "/..." covers subpackages
+		"repro/internal/journal":       true,
+		"repro/internal/journalreader": false, // exact entries do not prefix-match
+		"repro/internal/sim":           false,
+	} {
+		if got := cfg.ConcurrencyPackage(path); got != want {
+			t.Errorf("ConcurrencyPackage(%q) = %v, want %v", path, got, want)
 		}
 	}
 }
