@@ -11,10 +11,11 @@ vet:
 	go vet ./...
 
 # Static-analysis suite: the custom pimlint analyzers — determinism,
-# nil-safe-handle, hot-path and liveness invariants plus the
-# concurrency disciplines (lockorder, ctxflow, goorphan, atomicmix),
-# see docs/DETERMINISM.md — plus go vet and a gofmt cleanliness check.
-# Any finding fails the target.
+# nil-safe-handle, hot-path and liveness invariants, the concurrency
+# disciplines (lockorder, ctxflow, goorphan, atomicmix) and the
+# dataflow layer (detflow, lifecycle, errsink), see docs/DETERMINISM.md
+# — plus go vet and a gofmt cleanliness check. Any finding fails the
+# target. Pass findings to tooling with `go run ./cmd/pimlint -json`.
 lint: fmt-check vet
 	go run ./cmd/pimlint ./...
 
@@ -72,7 +73,7 @@ ci: lint build test test-race test-simdebug fuzz-short differential-smoke golden
 golden-fig8:
 	go run ./cmd/pimsweep -fig 8 -all -scale 0.2 \
 		-policies fr-fcfs,fr-rr-fcfs,gather-issue,f3fs > /tmp/fig8_ci.txt
-	go run ./cmd/figcheck -golden fig8_all180.txt -got /tmp/fig8_ci.txt
+	go run ./cmd/figcheck -golden testdata/golden/fig8_all180.txt -got /tmp/fig8_ci.txt
 
 # Hardened-campaign smoke: run a tiny campaign with fault injection,
 # halt it mid-way, resume from the journal, and confirm a third
@@ -129,12 +130,12 @@ bench:
 	go test -bench=. -benchmem -run XXX .
 
 # Machine-readable benchmark artifact: run the paper benchmarks, parse
-# the text output into BENCH_6.json (docs/PERFORMANCE.md). CI runs this
+# the text output into BENCH_10.json (docs/PERFORMANCE.md). CI runs this
 # with BENCHTIME=10x and uploads the file; the committed copy is the
 # tracked baseline. BENCH_latest.json is a stable-name copy so consumers
 # (and the CI upload glob) don't have to track the numbered filename.
 BENCHTIME ?= 1x
-BENCH_FILE ?= BENCH_6.json
+BENCH_FILE ?= BENCH_10.json
 bench-json:
 	go test -run '^$$' -bench=. -benchtime=$(BENCHTIME) -benchmem . | tee bench_output.txt
 	go run ./cmd/benchjson -o $(BENCH_FILE) bench_output.txt

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figcheck -golden fig8_all180.txt -got /tmp/fig8.txt [-rtol 0.02] [-atol 0.005]
+//	figcheck -golden testdata/golden/fig8_all180.txt -got /tmp/fig8.txt [-rtol 0.02] [-atol 0.005]
 //
 // Both files are parsed as label-plus-numeric-columns tables: a data row
 // is any line whose first field is a label and whose remaining fields

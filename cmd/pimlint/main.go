@@ -25,10 +25,20 @@
 //	           carry a justified //pimlint:detached (whole-program)
 //	atomicmix  fields accessed through sync/atomic are never also
 //	           accessed plainly outside init (whole-program)
+//	detflow    nondeterministic values (wall clock, unseeded rand, map
+//	           order, scheduler reads) must not flow into digest /
+//	           journal / figure-telemetry sinks (whole-program)
+//	lifecycle  files, timers, tickers, response bodies and cancel
+//	           funcs created in service code are released on all
+//	           paths (whole-program)
+//	errsink    durability errors (fsync, Write, journal append) are
+//	           never discarded outside audited best-effort sites
+//	           (whole-program)
 //
 // Usage:
 //
 //	go run ./cmd/pimlint ./...            # standalone, from repo root
+//	go run ./cmd/pimlint -json ./...      # findings as JSON on stdout
 //	go vet -vettool=$(which pimlint) ./...  # as a vet tool
 //
 // The whole-program analyzers need every target package in one
@@ -41,6 +51,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -52,9 +63,12 @@ import (
 	"repro/tools/pimlint/analyzers/ctxflow"
 	"repro/tools/pimlint/analyzers/cyclesafe"
 	"repro/tools/pimlint/analyzers/detclock"
+	"repro/tools/pimlint/analyzers/detflow"
 	"repro/tools/pimlint/analyzers/detmap"
+	"repro/tools/pimlint/analyzers/errsink"
 	"repro/tools/pimlint/analyzers/goorphan"
 	"repro/tools/pimlint/analyzers/hotalloc"
+	"repro/tools/pimlint/analyzers/lifecycle"
 	"repro/tools/pimlint/analyzers/lockorder"
 	"repro/tools/pimlint/analyzers/nextevent"
 	"repro/tools/pimlint/analyzers/nilhandle"
@@ -77,7 +91,20 @@ func analyzers(cfg *lintcfg.Config) []*analysis.Analyzer {
 		ctxflow.New(cfg),
 		goorphan.New(cfg),
 		atomicmix.New(cfg),
+		detflow.New(cfg),
+		lifecycle.New(cfg),
+		errsink.New(cfg),
 	}
+}
+
+// jsonFinding is the machine-readable finding shape emitted by -json,
+// consumed by the CI problem matcher and any editor integration.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
 }
 
 func main() {
@@ -99,8 +126,9 @@ func main() {
 	}
 
 	configPath := flag.String("config", "", "path to pimlint.yaml (default: search upward from the working directory)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout instead of text on stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pimlint [-config pimlint.yaml] [packages]\n\n"+
+		fmt.Fprintf(os.Stderr, "usage: pimlint [-config pimlint.yaml] [-json] [packages]\n\n"+
 			"Runs the determinism and nil-safety analyzers over the named\n"+
 			"package patterns (default ./...). Also speaks the go vet\n"+
 			"-vettool protocol when handed a unit .cfg file.\n")
@@ -142,8 +170,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pimlint: %v\n", err)
 		os.Exit(1)
 	}
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Posn.Filename,
+				Line:     f.Posn.Line,
+				Column:   f.Posn.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "pimlint: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "pimlint: %d finding(s)\n", len(findings))

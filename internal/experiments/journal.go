@@ -156,7 +156,7 @@ func (j *Journal) record(e JournalEntry) error {
 	// campaign never reads a half-applied state. j.mu leads to no
 	// other lock.
 	//pimlint:lockorder — checkpoint rewrite must serialize with entry updates under j.mu for consistent resume snapshots
-	err := journal.Rewrite(j.path, j.header, func(enc *json.Encoder) error {
+	err := journal.Rewrite(j.path, j.header, func(enc *json.Encoder) error { //pimlint:nondet — journaled entries carry the run Manifest (wall-time provenance); result digests and resumed figure data read only the deterministic Pair fields
 		for _, key := range j.order {
 			entry := j.entries[key]
 			if err := enc.Encode(entry); err != nil {

@@ -445,6 +445,7 @@ func (r *Runner) writePairTelemetry(p *Pair) error {
 	}
 	name := fmt.Sprintf("%s_%s_%s_%s.jsonl", p.GPUID, p.PIMID, p.Policy, p.Mode)
 	var buf bytes.Buffer
+	//pimlint:nondet — the manifest is provenance (wall time, host, git revision) written beside the capture; it is excluded from result digests and never feeds figure series
 	if err := telemetry.WriteJSONL(&buf, p.Manifest, p.Telemetry.Registry, p.Telemetry.Sampler.Snapshots()); err != nil {
 		return fmt.Errorf("experiments: write telemetry: %w", err)
 	}

@@ -133,20 +133,20 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	}
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
+	// Close exactly once, with its error surfaced: a failed close can
+	// mean the buffered data never reached the file.
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Chmod(perm)
 	}
-	if err := tmp.Chmod(perm); err != nil {
-		tmp.Close()
-		return err
+	if werr == nil {
+		werr = tmp.Sync()
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
 	}
-	if err := tmp.Close(); err != nil {
-		return err
+	if werr != nil {
+		return werr
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		return err
@@ -162,7 +162,9 @@ func syncDir(dir string) error {
 	if err != nil {
 		return nil
 	}
+	//pimlint:besteffort — read-only directory handle; nothing buffered to lose on close
 	defer d.Close()
+	//pimlint:besteffort — directory fsync is advisory: filesystems that refuse it (some network mounts) still completed the rename
 	_ = d.Sync()
 	return nil
 }

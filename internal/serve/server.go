@@ -450,6 +450,7 @@ func (s *Server) Handler() http.Handler {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	//pimlint:besteffort — HTTP reply, not durable state: an encode failure here means the client vanished, and the result is already persisted
 	_ = json.NewEncoder(w).Encode(v)
 }
 

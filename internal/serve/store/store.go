@@ -337,6 +337,7 @@ func (s *Store) compactLocked() {
 	}
 	// Snapshot is durable; now the journal may be emptied.
 	if s.app != nil {
+		//pimlint:besteffort — every journaled record is already folded into the fsync'd snapshot; a close failure cannot lose acknowledged data
 		s.app.Close()
 		s.app = nil
 	}
@@ -365,6 +366,7 @@ func (s *Store) degradeLocked(reason string) {
 	s.stats.Degraded = true
 	s.stats.DegradedReason = reason
 	if s.app != nil {
+		//pimlint:besteffort — best-effort teardown on the way into degraded memory-only mode; the store already stopped promising durability
 		s.app.Close()
 		s.app = nil
 	}
@@ -407,6 +409,7 @@ func (s *Store) Close() {
 	//pimlint:lockorder — final compaction must exclude concurrent Puts while the journal handle is torn down
 	s.compactLocked()
 	if s.app != nil {
+		//pimlint:besteffort — compactLocked just folded the journal into the fsync'd snapshot (or degraded the store); the handle holds no unpersisted data
 		s.app.Close()
 		s.app = nil
 	}

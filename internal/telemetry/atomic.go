@@ -18,16 +18,17 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	}
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
+	// Close exactly once, with its error surfaced: a failed close can
+	// mean the buffered data never reached the file.
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Chmod(perm)
 	}
-	if err := tmp.Chmod(perm); err != nil {
-		tmp.Close()
-		return err
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
 	}
-	if err := tmp.Close(); err != nil {
-		return err
+	if werr != nil {
+		return werr
 	}
 	return os.Rename(tmpName, path)
 }
@@ -36,6 +37,7 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 // time series) and writes it atomically to path.
 func WriteJSONLFile(path string, m *Manifest, reg *Registry, samples []Snapshot) error {
 	var buf bytes.Buffer
+	//pimlint:nondet — the manifest is the audited laundering point: wall-time/host provenance rides next to the deterministic series, and nothing downstream digests it
 	if err := WriteJSONL(&buf, m, reg, samples); err != nil {
 		return err
 	}

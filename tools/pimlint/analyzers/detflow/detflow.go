@@ -1,0 +1,176 @@
+// Package detflow is the flow-aware determinism analyzer: where
+// detmap/detclock ban nondeterministic *sites* in the deterministic
+// core, detflow tracks nondeterministic *values* — wall clock,
+// unseeded global rand, map iteration order, goroutine-scheduling-
+// dependent reads — through locals, struct fields, package variables
+// and call returns (tools/pimlint/dataflow), and reports them only
+// when they reach a determinism-critical sink: config digest inputs,
+// result encoders, journal/store writes, or the telemetry counters
+// that feed figure outputs (detflow_sinks in pimlint.yaml).
+//
+// Two flows count as reaching a sink: the argument value itself
+// carries a taint label, or the argument's static type contains a
+// struct field that some covered code assigns tainted data to
+// (containment) — passing a whole run manifest to a journal write is a
+// finding even though the manifest pointer is a clean value.
+//
+// The escape hatch is //pimlint:nondet on the sink call's line or the
+// line above, with a mandatory justification naming why the laundering
+// point is audited (e.g. telemetry.Manifest wall-time fields are
+// provenance, excluded from result digests). An annotated call is also
+// pruned from the caller-visible summary, so wrappers around an
+// audited sink do not re-report at every call site.
+package detflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/tools/pimlint/analysis"
+	"repro/tools/pimlint/annot"
+	"repro/tools/pimlint/dataflow"
+	"repro/tools/pimlint/lintcfg"
+)
+
+// Annotation suppresses a detflow diagnostic with a justification.
+const Annotation = "pimlint:nondet"
+
+// seededRandConstructors are the math/rand (v1 and v2) names that
+// build explicitly seeded generators; every other exported function of
+// those packages draws from the unseedable global stream.
+var seededRandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// New builds the analyzer against a configuration (nil uses defaults).
+func New(cfg *lintcfg.Config) *analysis.Analyzer {
+	if cfg == nil {
+		cfg = lintcfg.Default()
+	}
+	d := &detflow{
+		cfg:   cfg,
+		annot: annot.NewSet(Annotation),
+	}
+	return &analysis.Analyzer{
+		Name: "detflow",
+		Doc: "flag nondeterministic values flowing into determinism-critical sinks\n\n" +
+			"Taint-tracks wall clock, unseeded global rand, map iteration order and " +
+			"goroutine-scheduling-dependent reads through locals, fields and call " +
+			"summaries, and reports them when they reach a configured sink (digest " +
+			"inputs, result encoders, journal/store writes, figure-feeding telemetry). " +
+			"Suppress an audited laundering point with //pimlint:nondet <justification>.",
+		WholeProgram: true,
+		Run: func(pass *analysis.Pass) (any, error) {
+			d.addPackage(pass)
+			return nil, nil
+		},
+		End: d.finish,
+	}
+}
+
+type detflow struct {
+	cfg    *lintcfg.Config
+	fset   *token.FileSet
+	annot  *annot.Set
+	interp *dataflow.Interp
+}
+
+func (d *detflow) addPackage(pass *analysis.Pass) {
+	if !d.cfg.DetflowPackage(pass.Pkg.Path()) {
+		return
+	}
+	if d.interp == nil {
+		d.fset = pass.Fset
+		d.interp = dataflow.New(pass.Fset, dataflow.Config{
+			Source:   classifySource,
+			MapRange: "map iteration order",
+			SourceArg: func(fullName string) (int, string, bool) {
+				if fullName == "runtime.ReadMemStats" {
+					return 0, "runtime memory stats", true
+				}
+				return 0, "", false
+			},
+			Sanitize: func(fullName string) int {
+				if strings.HasPrefix(fullName, "sort.") ||
+					strings.HasPrefix(fullName, "slices.Sort") {
+					return 0
+				}
+				return -1
+			},
+			Sink: d.cfg.DetflowSink,
+			SkipCall: func(posn token.Position) bool {
+				return d.annot.Covers(posn)
+			},
+		})
+	}
+	for _, file := range pass.Files {
+		d.annot.AddFile(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			d.interp.AddFunc(&dataflow.Fn{
+				Name: fn.FullName(),
+				Decl: fd,
+				Pkg:  pass.Pkg,
+				Info: pass.TypesInfo,
+			})
+		}
+	}
+}
+
+func (d *detflow) finish(report func(analysis.Diagnostic)) error {
+	if d.interp == nil {
+		return nil
+	}
+	d.interp.Solve()
+	for _, h := range d.interp.Hits() {
+		report(analysis.Diagnostic{
+			Pos:      h.Pos,
+			Category: "detflow",
+			Message: fmt.Sprintf(
+				"nondeterministic value (%s) flows into determinism sink %s; make the input deterministic or annotate the audited laundering point with //%s <justification>",
+				strings.Join(h.Sources, "; "), h.Sink, Annotation),
+		})
+	}
+	for _, e := range d.annot.Bare() {
+		report(analysis.Diagnostic{
+			Pos:      e.Pos,
+			Category: "detflow",
+			Message:  fmt.Sprintf("//%s needs a justification on the annotation line", Annotation),
+		})
+	}
+	return nil
+}
+
+// classifySource recognizes the intrinsic nondeterminism sources.
+func classifySource(fn *types.Func, _ *ast.CallExpr, _ *types.Info) (string, bool) {
+	switch fn.FullName() {
+	case "time.Now", "time.Since", "time.Until":
+		return "wall clock", true
+	case "os.Getenv", "os.LookupEnv", "os.Environ", "os.Hostname", "os.Getpid":
+		return "environment read", true
+	case "runtime.NumGoroutine", "runtime.NumCgoCall":
+		return "goroutine-scheduling-dependent read", true
+	}
+	if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2") {
+		// Methods on *rand.Rand are seeded by construction; only the
+		// package-level global-stream functions are nondeterministic.
+		if fn.Type().(*types.Signature).Recv() == nil && !seededRandConstructors[fn.Name()] {
+			return "unseeded global rand", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,29 @@
+package detflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/tools/pimlint/analysis/analysistest"
+	"repro/tools/pimlint/analyzers/detflow"
+	"repro/tools/pimlint/lintcfg"
+)
+
+func singleCfg() *lintcfg.Config {
+	return &lintcfg.Config{
+		DetflowPackages: []string{"detflowtest"},
+		DetflowSinks:    []string{"detflowtest.Digest", "detflowtest.Record"},
+	}
+}
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "detflowtest"), detflow.New(singleCfg()), "detflowtest")
+}
+
+func TestDetflowCrossPackage(t *testing.T) {
+	cfg := &lintcfg.Config{
+		DetflowPackages: []string{"taintsrc", "taintsink"},
+		DetflowSinks:    []string{"taintsink.Emit"},
+	}
+	analysistest.RunPackages(t, filepath.Join("testdata", "src"), detflow.New(cfg), []string{"taintsrc", "taintsink"})
+}

@@ -1,0 +1,104 @@
+package detflowtest
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Digest and Record are the configured sinks, standing in for the
+// repo's digest/encoder functions.
+func Digest(parts ...string) string {
+	out := ""
+	for _, p := range parts {
+		out += p
+	}
+	return out
+}
+
+func Record(v any) {}
+
+// Direct source-to-sink flow through a local.
+func Direct() string {
+	t := time.Now().UnixNano()
+	return Digest(strconv.FormatInt(t, 10)) // want `wall clock`
+}
+
+// Flow through a same-package helper's return value.
+func stamp() int64 { return time.Now().UnixNano() }
+
+func ViaReturn() string {
+	return Digest(strconv.FormatInt(stamp(), 10)) // want `wall clock`
+}
+
+// Flow into a wrapper that sinks its parameter: the wrapper call is
+// the finding, via its summary.
+func emit(s string) { _ = Digest(s) }
+
+func Wrapped() {
+	emit(strconv.FormatInt(time.Now().UnixNano(), 10)) // want `flows into determinism sink detflowtest.Digest`
+}
+
+// Flow through a struct field written in one function and read in
+// another (the global field store).
+type State struct{ Seed int64 }
+
+func (s *State) Stamp() { s.Seed = time.Now().UnixNano() }
+
+func (s *State) Use() string {
+	return Digest(strconv.FormatInt(s.Seed, 10)) // want `wall clock`
+}
+
+// Containment: a whole struct with a tainted field passed to a sink.
+type Rec struct{ T int64 }
+
+func NewRec() Rec { return Rec{T: time.Now().UnixNano()} }
+
+func Store(r Rec) {
+	Record(r) // want `wall clock via field detflowtest\.Rec\.T`
+}
+
+// Unseeded global rand is a source; an explicitly seeded generator is
+// not.
+func GlobalRand() string {
+	return Digest(strconv.Itoa(rand.Int())) // want `unseeded global rand`
+}
+
+func SeededRand() string {
+	r := rand.New(rand.NewSource(7))
+	return Digest(strconv.Itoa(r.Intn(10)))
+}
+
+// Map iteration order taints the ranged keys; sorting launders it.
+func Keys(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return Digest(keys...) // want `map iteration order`
+}
+
+func SortedKeys(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return Digest(keys...)
+}
+
+// A justified annotation suppresses the finding at the call site.
+func Audited() string {
+	t := time.Now().UnixNano()
+	//pimlint:nondet — wall time is provenance here, nothing downstream digests it
+	return Digest(strconv.FormatInt(t, 10))
+}
+
+// A deterministic flow is quiet.
+func Clean(seed int64) string {
+	return Digest(strconv.FormatInt(seed, 10))
+}
+
+// A bare marker is a finding in its own right.
+var _ = 0 /*pimlint:nondet*/ // want `needs a justification`

@@ -1,0 +1,27 @@
+package taintsink
+
+import (
+	"strconv"
+
+	"taintsrc"
+)
+
+// Emit is the configured sink in this package.
+func Emit(parts ...string) {}
+
+// Cross-package taint through taintsrc.Stamp's summary.
+func Use() {
+	Emit(strconv.FormatInt(taintsrc.Stamp(), 10)) // want `wall clock`
+}
+
+// Cross-package containment: the field was tainted in taintsrc.
+func Hold() {
+	r := taintsrc.NewRec()
+	_ = r
+	Emit(strconv.FormatInt(r.T, 10)) // want `wall clock`
+}
+
+// Deterministic cross-package flow stays quiet.
+func Quiet() {
+	Emit(strconv.FormatInt(taintsrc.Clean(), 10))
+}

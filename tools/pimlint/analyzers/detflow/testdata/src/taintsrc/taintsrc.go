@@ -1,0 +1,16 @@
+package taintsrc
+
+import "time"
+
+// Stamp returns a wall-clock-derived value; the taint must cross the
+// package boundary through the call summary.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Rec carries taint in a field, written here and containment-checked
+// in the consuming package.
+type Rec struct{ T int64 }
+
+func NewRec() Rec { return Rec{T: time.Now().UnixNano()} }
+
+// Clean is a deterministic cross-package return.
+func Clean() int64 { return 42 }

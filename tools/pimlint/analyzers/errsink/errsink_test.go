@@ -1,0 +1,20 @@
+package errsink_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/tools/pimlint/analysis/analysistest"
+	"repro/tools/pimlint/analyzers/errsink"
+	"repro/tools/pimlint/lintcfg"
+)
+
+func TestErrsink(t *testing.T) {
+	cfg := &lintcfg.Config{DurabilityPackages: []string{"errsinktest"}}
+	analysistest.Run(t, filepath.Join("testdata", "src", "errsinktest"), errsink.New(cfg), "errsinktest")
+}
+
+func TestErrsinkCrossPackage(t *testing.T) {
+	cfg := &lintcfg.Config{DurabilityPackages: []string{"durwrap", "durcall"}}
+	analysistest.RunPackages(t, filepath.Join("testdata", "src"), errsink.New(cfg), []string{"durwrap", "durcall"})
+}

@@ -1,0 +1,27 @@
+package durcall
+
+import (
+	"os"
+
+	"durwrap"
+)
+
+// Discarding durwrap.Persist's error silently drops a write/sync
+// failure discovered through the cross-package summary.
+func Save(f *os.File, data []byte) {
+	durwrap.Persist(f, data) // want `error from durwrap\.Persist is unchecked on a durability path`
+}
+
+func SaveBlank(f *os.File, data []byte) {
+	_ = durwrap.Persist(f, data) // want `error from durwrap\.Persist is assigned to _ on a durability path`
+}
+
+// Checking the error satisfies the obligation.
+func SaveChecked(f *os.File, data []byte) error {
+	return durwrap.Persist(f, data)
+}
+
+// A non-durability callee in the same dependency stays quiet.
+func Quiet() {
+	durwrap.Note()
+}

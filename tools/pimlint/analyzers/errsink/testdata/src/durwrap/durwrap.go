@@ -1,0 +1,16 @@
+package durwrap
+
+import "os"
+
+// Persist wraps write+sync; its error result carries the durability
+// obligation across the package boundary.
+func Persist(f *os.File, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Note reports a condition without touching storage; discarding its
+// error is not a durability loss.
+func Note() error { return nil }

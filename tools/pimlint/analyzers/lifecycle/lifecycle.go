@@ -1,0 +1,663 @@
+// Package lifecycle audits resource lifecycles in service and
+// campaign code (lifecycle_packages): every os.File, time.Timer,
+// time.Ticker, http.Response.Body, net Conn/Listener and
+// context.CancelFunc created there must be released — closed, stopped
+// or cancelled — on all paths, or carry an audited annotation.
+//
+// For each creation site (an assignment from a known constructor) the
+// analyzer classifies every use of the resulting variable:
+//
+//   - releases: the release method called directly or under defer
+//     (including inside a deferred function literal), a cancel func
+//     invoked, or the variable passed to a function whose own body
+//     releases that parameter (releaser summaries, computed
+//     transitively across packages);
+//   - escapes: returned, stored into a field, global, composite, map
+//     or channel, aliased to another variable, address taken, or
+//     passed to a non-releasing function — ownership moved, the
+//     analyzer stops tracking;
+//   - neutral uses: reads, method calls (Write, Name, Reset), nil
+//     comparisons — these neither release nor excuse.
+//
+// Functions that return a resource they created become constructors
+// for their callers (producer summaries), so a leak across a
+// constructor/consumer package split is still one finding at the
+// consumer's creation site.
+//
+// Findings: a resource never released on any path; a resource result
+// discarded at creation (`ctx, _ := context.WithCancel(ctx)` — the
+// context leaks until process exit); and a return between creation
+// and the first release with nothing released on that path (early
+// return), unless the return is the constructor's own error path
+// (guarded by the creation's error variable).
+//
+// The escape hatch is //pimlint:lifecycle on the creation or the
+// leaking return (with a mandatory justification, e.g. a
+// process-lifetime listener).
+package lifecycle
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/pimlint/analysis"
+	"repro/tools/pimlint/annot"
+	"repro/tools/pimlint/dataflow"
+	"repro/tools/pimlint/lintcfg"
+)
+
+// Annotation suppresses a lifecycle diagnostic with a justification.
+const Annotation = "pimlint:lifecycle"
+
+// Release kinds: how a resource is let go.
+const (
+	kindClose     = "Close"
+	kindStop      = "Stop"
+	kindCall      = "call" // context.CancelFunc: invoke the value
+	kindBodyClose = "Body.Close"
+)
+
+type ctorInfo struct {
+	idx  int    // which result is the resource
+	kind string // how it is released
+}
+
+// intrinsicCtors are the standard-library constructors, by types.Func
+// FullName.
+var intrinsicCtors = map[string]ctorInfo{
+	"os.Open":       {0, kindClose},
+	"os.Create":     {0, kindClose},
+	"os.OpenFile":   {0, kindClose},
+	"os.CreateTemp": {0, kindClose},
+
+	"time.NewTimer":  {0, kindStop},
+	"time.NewTicker": {0, kindStop},
+
+	"context.WithCancel":   {1, kindCall},
+	"context.WithTimeout":  {1, kindCall},
+	"context.WithDeadline": {1, kindCall},
+
+	"net.Listen":      {0, kindClose},
+	"net.Dial":        {0, kindClose},
+	"net.DialTimeout": {0, kindClose},
+
+	"net/http.Get":            {0, kindBodyClose},
+	"(*net/http.Client).Do":   {0, kindBodyClose},
+	"(*net/http.Client).Get":  {0, kindBodyClose},
+	"(*net/http.Client).Post": {0, kindBodyClose},
+}
+
+// resourceKind classifies a static type as a releasable resource, for
+// parameter tracking (releaser summaries).
+func resourceKind(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "os.File":
+		return kindClose
+	case "time.Timer", "time.Ticker":
+		return kindStop
+	case "context.CancelFunc":
+		return kindCall
+	case "net/http.Response":
+		return kindBodyClose
+	case "net.Conn", "net.Listener":
+		return kindClose
+	}
+	return ""
+}
+
+// New builds the analyzer against a configuration (nil uses defaults).
+func New(cfg *lintcfg.Config) *analysis.Analyzer {
+	if cfg == nil {
+		cfg = lintcfg.Default()
+	}
+	l := &lifecycle{
+		cfg:   cfg,
+		annot: annot.NewSet(Annotation),
+	}
+	return &analysis.Analyzer{
+		Name: "lifecycle",
+		Doc: "flag resources not released on all paths\n\n" +
+			"In lifecycle_packages, every os.File/Timer/Ticker/Response.Body/" +
+			"net conn/CancelFunc must be closed, stopped or cancelled on every " +
+			"path (directly, via defer, or via a function that releases its " +
+			"argument), or ownership must visibly move (return/store). " +
+			"Suppress an audited exception with //pimlint:lifecycle <justification>.",
+		WholeProgram: true,
+		Run: func(pass *analysis.Pass) (any, error) {
+			l.addPackage(pass)
+			return nil, nil
+		},
+		End: l.finish,
+	}
+}
+
+type fnRec struct {
+	name string
+	decl *ast.FuncDecl
+	info *types.Info
+}
+
+type lifecycle struct {
+	cfg   *lintcfg.Config
+	fset  *token.FileSet
+	annot *annot.Set
+	fns   []*fnRec
+
+	producers map[string]ctorInfo
+	releasers map[string]map[int]string // fullName -> param idx -> kind released
+}
+
+func (l *lifecycle) addPackage(pass *analysis.Pass) {
+	if !l.cfg.LifecyclePackage(pass.Pkg.Path()) {
+		return
+	}
+	l.fset = pass.Fset
+	for _, file := range pass.Files {
+		l.annot.AddFile(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			l.fns = append(l.fns, &fnRec{name: fn.FullName(), decl: fd, info: pass.TypesInfo})
+		}
+	}
+}
+
+type finding struct {
+	pos      token.Pos // where to report
+	also     token.Pos // second position the annotation may cover
+	category string
+	msg      string
+}
+
+func (l *lifecycle) finish(report func(analysis.Diagnostic)) error {
+	if l.fset == nil {
+		return nil
+	}
+	// Producer and releaser summaries feed each other only through
+	// additional call sites, so a few rounds reach the fixpoint; the
+	// final round's findings are authoritative.
+	l.producers = make(map[string]ctorInfo)
+	l.releasers = make(map[string]map[int]string)
+	var finds []finding
+	prev := -1
+	for round := 0; round < 6; round++ {
+		finds = nil
+		for _, fn := range l.fns {
+			finds = append(finds, l.scanFunc(fn)...)
+		}
+		size := len(l.producers)
+		for _, m := range l.releasers {
+			size += len(m)
+		}
+		if size == prev {
+			break
+		}
+		prev = size
+	}
+	for _, f := range finds {
+		if l.annot.Covers(l.fset.Position(f.pos)) {
+			continue
+		}
+		if f.also.IsValid() && l.annot.Covers(l.fset.Position(f.also)) {
+			continue
+		}
+		report(analysis.Diagnostic{Pos: f.pos, Category: "lifecycle", Message: f.msg})
+	}
+	for _, a := range l.annot.Bare() {
+		report(analysis.Diagnostic{
+			Pos:      a.Pos,
+			Category: "lifecycle",
+			Message:  fmt.Sprintf("//%s needs a justification on the annotation line", Annotation),
+		})
+	}
+	return nil
+}
+
+// creation is one tracked resource: a constructor result bound to a
+// local, or a resource-typed parameter (tracked for releaser
+// summaries only).
+type creation struct {
+	obj     types.Object
+	pos     token.Pos
+	kind    string
+	ctor    string   // display name of the constructor
+	scope   ast.Node // innermost enclosing function node
+	errObj  types.Object
+	isParam bool
+	prmIdx  int
+
+	released    bool
+	escaped     bool
+	releasePos  []token.Pos
+	retIdx      int // result index the resource is returned at, -1
+	retInfected bool
+}
+
+type retSite struct {
+	ret   *ast.ReturnStmt
+	scope ast.Node
+	// guards are the if-conditions enclosing the return, for the
+	// constructor-error-path exemption.
+	guards []ast.Expr
+}
+
+func (l *lifecycle) scanFunc(fn *fnRec) []finding {
+	info := fn.info
+	creations := make(map[types.Object]*creation)
+	var order []*creation
+	var finds []finding
+
+	track := func(c *creation) {
+		creations[c.obj] = c
+		order = append(order, c)
+	}
+
+	// Parameters of resource type are tracked so releases inside this
+	// function summarize it as a releaser for its callers.
+	idx := 0
+	if fn.decl.Type.Params != nil {
+		for _, f := range fn.decl.Type.Params.List {
+			names := f.Names
+			if len(names) == 0 {
+				idx++
+				continue
+			}
+			for _, nm := range names {
+				o := info.Defs[nm]
+				if o != nil {
+					if k := resourceKind(o.Type()); k != "" {
+						track(&creation{
+							obj: o, pos: nm.Pos(), kind: k, ctor: "parameter",
+							scope: fn.decl, isParam: true, prmIdx: idx, retIdx: -1,
+						})
+					}
+				}
+				idx++
+			}
+		}
+	}
+
+	// Pass 1: creations and direct-return producers, with a function
+	// scope stack so closures keep their own return statements.
+	var stack []ast.Node
+	scopeOf := func() ast.Node {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if _, ok := stack[i].(*ast.FuncLit); ok {
+				return stack[i]
+			}
+		}
+		return fn.decl
+	}
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ci, ctorName, ok := l.ctorOf(call, info)
+			if !ok {
+				return true
+			}
+			if ci.idx >= len(n.Lhs) {
+				return true
+			}
+			lhs, ok := n.Lhs[ci.idx].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if lhs.Name == "_" {
+				finds = append(finds, finding{
+					pos: call.Pos(), category: "lifecycle",
+					msg: fmt.Sprintf(
+						"%s result of %s is discarded at creation and can never be released; bind and release it or annotate //%s <justification>",
+						kindNoun(ci.kind), ctorName, Annotation),
+				})
+				return true
+			}
+			obj := info.Defs[lhs]
+			if obj == nil {
+				obj = info.Uses[lhs]
+			}
+			if obj == nil || creations[obj] != nil {
+				return true
+			}
+			c := &creation{
+				obj: obj, pos: call.Pos(), kind: ci.kind, ctor: ctorName,
+				scope: scopeOf(), retIdx: -1,
+			}
+			// The error variable bound alongside, for the
+			// constructor-error-path return exemption.
+			for i, le := range n.Lhs {
+				if i == ci.idx {
+					continue
+				}
+				if id, ok := le.(*ast.Ident); ok && id.Name != "_" {
+					if o := info.Defs[id]; o != nil && isErrorType(o.Type()) {
+						c.errObj = o
+					} else if o := info.Uses[id]; o != nil && isErrorType(o.Type()) {
+						c.errObj = o
+					}
+				}
+			}
+			track(c)
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if ci, ctorName, ok := l.ctorOf(call, info); ok {
+					finds = append(finds, finding{
+						pos: call.Pos(), category: "lifecycle",
+						msg: fmt.Sprintf(
+							"%s result of %s is discarded at creation and can never be released; bind and release it or annotate //%s <justification>",
+							ci.kind, ctorName, Annotation),
+					})
+				}
+			}
+		case *ast.ReturnStmt:
+			// `return os.Open(path)` — the enclosing function is a
+			// producer without ever binding the resource.
+			if scopeOf() != fn.decl || len(n.Results) != 1 {
+				return true
+			}
+			if call, ok := n.Results[0].(*ast.CallExpr); ok {
+				if ci, _, ok := l.ctorOf(call, info); ok {
+					l.producers[fn.name] = ci
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: classify every use of every tracked object, and collect
+	// return sites with their guard conditions.
+	var rets []retSite
+	stack = stack[:0]
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			rs := retSite{ret: ret, scope: scopeOf()}
+			for _, p := range stack {
+				if ifs, ok := p.(*ast.IfStmt); ok {
+					rs.guards = append(rs.guards, ifs.Cond)
+				}
+			}
+			rets = append(rets, rs)
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		c := creations[obj]
+		if c == nil {
+			return true
+		}
+		l.classifyUse(fn, c, id, stack)
+		return true
+	})
+
+	// Summaries.
+	for _, c := range order {
+		if c.isParam {
+			if c.released {
+				m := l.releasers[fn.name]
+				if m == nil {
+					m = make(map[int]string)
+					l.releasers[fn.name] = m
+				}
+				m[c.prmIdx] = c.kind
+			}
+			continue
+		}
+		if c.retIdx >= 0 {
+			l.producers[fn.name] = ctorInfo{idx: c.retIdx, kind: c.kind}
+		}
+	}
+
+	// Findings.
+	for _, c := range order {
+		if c.isParam || c.escaped {
+			continue
+		}
+		if !c.released {
+			finds = append(finds, finding{
+				pos: c.pos, category: "lifecycle",
+				msg: fmt.Sprintf(
+					"%s from %s is never released (%s) on any path; release it or annotate //%s <justification>",
+					kindNoun(c.kind), c.ctor, releaseVerb(c.kind), Annotation),
+			})
+			continue
+		}
+		for _, rs := range rets {
+			if rs.scope != c.scope || rs.ret.Pos() <= c.pos {
+				continue
+			}
+			if c.errObj != nil && guardMentions(rs.guards, c.errObj, info) {
+				continue // the constructor's own error path
+			}
+			covered := false
+			for _, rp := range c.releasePos {
+				if rp > c.pos && rp < rs.ret.End() {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				finds = append(finds, finding{
+					pos: rs.ret.Pos(), also: c.pos, category: "lifecycle",
+					msg: fmt.Sprintf(
+						"return leaks the %s created by %s at line %d: nothing releases it on this path; release before returning or annotate //%s <justification>",
+						kindNoun(c.kind), c.ctor, l.fset.Position(c.pos).Line, Annotation),
+				})
+			}
+		}
+	}
+	return finds
+}
+
+// ctorOf resolves a call to a resource constructor: intrinsic or a
+// producer summary.
+func (l *lifecycle) ctorOf(call *ast.CallExpr, info *types.Info) (ctorInfo, string, bool) {
+	fn, ok := dataflow.Callee(info, call)
+	if !ok {
+		return ctorInfo{}, "", false
+	}
+	name := fn.FullName()
+	if ci, ok := intrinsicCtors[name]; ok {
+		return ci, name, true
+	}
+	if ci, ok := l.producers[name]; ok {
+		return ci, name, true
+	}
+	return ctorInfo{}, "", false
+}
+
+// classifyUse decides what one identifier occurrence does to the
+// resource: release, escape, or neutral.
+func (l *lifecycle) classifyUse(fn *fnRec, c *creation, id *ast.Ident, stack []ast.Node) {
+	info := fn.info
+	// stack ends with id itself; parent chain above it.
+	parentAt := func(i int) ast.Node {
+		if len(stack)-1-i >= 0 {
+			return stack[len(stack)-1-i]
+		}
+		return nil
+	}
+	parent := parentAt(1)
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X != id {
+			return // id is the Sel side of someone else's selector
+		}
+		// id.<method>() — a release if it is the release method, a
+		// neutral read/method call otherwise.
+		if call, ok := parentAt(2).(*ast.CallExpr); ok && call.Fun == p {
+			if c.kind == kindClose || c.kind == kindStop {
+				if p.Sel.Name == c.kind {
+					c.released = true
+					c.releasePos = append(c.releasePos, call.Pos())
+				}
+			}
+			return
+		}
+		if c.kind == kindBodyClose && p.Sel.Name == "Body" {
+			// id.Body.Close()
+			if sel2, ok := parentAt(2).(*ast.SelectorExpr); ok && sel2.Sel.Name == "Close" {
+				if call, ok := parentAt(3).(*ast.CallExpr); ok && call.Fun == sel2 {
+					c.released = true
+					c.releasePos = append(c.releasePos, call.Pos())
+					return
+				}
+			}
+		}
+		return
+	case *ast.CallExpr:
+		if p.Fun == id {
+			if c.kind == kindCall {
+				c.released = true
+				c.releasePos = append(c.releasePos, p.Pos())
+			}
+			return
+		}
+		// id as an argument: released if the callee's summary says it
+		// releases that parameter, otherwise ownership moves.
+		for i, a := range p.Args {
+			if a != id {
+				continue
+			}
+			if callee, ok := dataflow.Callee(info, p); ok {
+				if m := l.releasers[callee.FullName()]; m != nil && m[i] == c.kind {
+					c.released = true
+					c.releasePos = append(c.releasePos, p.Pos())
+					return
+				}
+			}
+			c.escaped = true
+			return
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if rhs != id {
+				continue
+			}
+			// `_ = f` keeps ownership here; any other alias or store
+			// moves it.
+			if i < len(p.Lhs) {
+				if lid, ok := p.Lhs[i].(*ast.Ident); ok && lid.Name == "_" {
+					return
+				}
+			}
+			c.escaped = true
+			return
+		}
+	case *ast.ReturnStmt:
+		for i, res := range p.Results {
+			if res == id {
+				c.escaped = true
+				if !c.isParam && c.scope == fn.decl && scopeOfStack(stack, fn.decl) == fn.decl {
+					c.retIdx = i
+				}
+			}
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			c.escaped = true
+		}
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		c.escaped = true
+	case *ast.IndexExpr:
+		// map[f] read is neutral; m[k] = f arrives as AssignStmt RHS.
+	}
+}
+
+// scopeOfStack finds the innermost function node on the stack.
+func scopeOfStack(stack []ast.Node, decl ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.FuncLit); ok {
+			return stack[i]
+		}
+	}
+	return decl
+}
+
+// guardMentions reports whether any enclosing if-condition references
+// the creation's error variable (the `if err != nil { return ... }`
+// constructor-failure path).
+func guardMentions(guards []ast.Expr, errObj types.Object, info *types.Info) bool {
+	for _, g := range guards {
+		found := false
+		ast.Inspect(g, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == errObj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// kindNoun names the leaked thing in diagnostics.
+func kindNoun(kind string) string {
+	switch kind {
+	case kindStop:
+		return "timer"
+	case kindCall:
+		return "cancel func"
+	case kindBodyClose:
+		return "response body"
+	default:
+		return "handle"
+	}
+}
+
+func releaseVerb(kind string) string {
+	switch kind {
+	case kindStop:
+		return "Stop"
+	case kindCall:
+		return "call the cancel func"
+	case kindBodyClose:
+		return "Body.Close"
+	default:
+		return "Close"
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,20 @@
+package lifecycle_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/tools/pimlint/analysis/analysistest"
+	"repro/tools/pimlint/analyzers/lifecycle"
+	"repro/tools/pimlint/lintcfg"
+)
+
+func TestLifecycle(t *testing.T) {
+	cfg := &lintcfg.Config{LifecyclePackages: []string{"lifecycletest"}}
+	analysistest.Run(t, filepath.Join("testdata", "src", "lifecycletest"), lifecycle.New(cfg), "lifecycletest")
+}
+
+func TestLifecycleCrossPackage(t *testing.T) {
+	cfg := &lintcfg.Config{LifecyclePackages: []string{"resmaker", "resuser"}}
+	analysistest.RunPackages(t, filepath.Join("testdata", "src"), lifecycle.New(cfg), []string{"resmaker", "resuser"})
+}

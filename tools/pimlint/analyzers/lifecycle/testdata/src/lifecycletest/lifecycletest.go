@@ -1,0 +1,121 @@
+package lifecycletest
+
+import (
+	"context"
+	"errors"
+	"os"
+	"time"
+)
+
+// Opened and never released on any path.
+func Leak(path string) error {
+	f, err := os.Open(path) // want `handle from os.Open is never released`
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	_, _ = f.Read(buf)
+	return nil
+}
+
+// A deferred Close releases on every path.
+func DeferClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	_, rerr := f.Read(buf)
+	return rerr
+}
+
+// A return between creation and the release leaks on that path; the
+// constructor's own error-path return is exempt.
+func EarlyReturn(path string, skip bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if skip {
+		return errors.New("skipped") // want `return leaks the handle created by os.Open`
+	}
+	return f.Close()
+}
+
+// Blanking the releasable result makes it unreleasable forever.
+func DiscardCancel(ctx context.Context) context.Context {
+	ctx2, _ := context.WithCancel(ctx) // want `cancel func result of context.WithCancel is discarded at creation`
+	return ctx2
+}
+
+func CancelOK(ctx context.Context) {
+	ctx2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	<-ctx2.Done()
+}
+
+// Tickers must be stopped.
+func TickerLeak(d time.Duration) {
+	t := time.NewTicker(d) // want `timer from time.NewTicker is never released \(Stop\)`
+	<-t.C
+}
+
+func TickerOK(d time.Duration) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	<-t.C
+}
+
+// Returning the resource moves ownership: no finding, and the
+// function becomes a constructor for its callers.
+func openLog(path string) (*os.File, error) {
+	return os.Create(path)
+}
+
+// A caller of the derived constructor still owes the release.
+func UseProducerLeak(path string) error {
+	f, err := openLog(path) // want `handle from lifecycletest\.openLog is never released`
+	if err != nil {
+		return err
+	}
+	_, _ = f.WriteString("x")
+	return nil
+}
+
+// Releasing through a helper that closes its parameter counts.
+func closeIt(f *os.File) error { return f.Close() }
+
+func UseReleaser(path string) error {
+	f, err := openLog(path)
+	if err != nil {
+		return err
+	}
+	_, _ = f.WriteString("x")
+	return closeIt(f)
+}
+
+// Storing into a struct moves ownership out of this function.
+type holder struct{ f *os.File }
+
+func (h *holder) open(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	h.f = f
+	return nil
+}
+
+// A justified annotation accepts a process-lifetime resource.
+func Forever(d time.Duration) {
+	//pimlint:lifecycle — heartbeat ticker lives for the whole process
+	t := time.NewTicker(d)
+	go func() {
+		for range t.C {
+		}
+	}()
+}
+
+// A bare marker is a finding in its own right.
+var _ = 0 /*pimlint:lifecycle*/ // want `needs a justification`

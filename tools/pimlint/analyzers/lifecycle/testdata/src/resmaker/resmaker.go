@@ -1,0 +1,14 @@
+package resmaker
+
+import "os"
+
+// OpenLog is a constructor: its callers inherit the release
+// obligation through the producer summary.
+func OpenLog(path string) (*os.File, error) {
+	return os.Create(path)
+}
+
+// CloseLog is a releaser: passing a file to it counts as the release.
+func CloseLog(f *os.File) error {
+	return f.Close()
+}

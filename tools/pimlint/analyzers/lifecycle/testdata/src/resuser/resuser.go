@@ -1,0 +1,24 @@
+package resuser
+
+import "resmaker"
+
+// Leak across the constructor/consumer package split: the creation is
+// here, the constructor's body is in resmaker.
+func UseLeak(path string) error {
+	f, err := resmaker.OpenLog(path) // want `handle from resmaker\.OpenLog is never released`
+	if err != nil {
+		return err
+	}
+	_, _ = f.WriteString("entry")
+	return nil
+}
+
+// Releasing through the sibling package's releaser summary is clean.
+func UseOK(path string) error {
+	f, err := resmaker.OpenLog(path)
+	if err != nil {
+		return err
+	}
+	_, _ = f.WriteString("entry")
+	return resmaker.CloseLog(f)
+}

@@ -66,3 +66,77 @@ func TestSet(t *testing.T) {
 		t.Errorf("bare annotation at line %d, want 6", posn.Line)
 	}
 }
+
+const nondetSrc = `package p
+
+//pimlint:nondet — manifest provenance, excluded from digests
+func a() {
+	_ = 0
+}
+
+func b() {
+	//pimlint:nondet
+	_ = 1
+}
+
+func c() { _ = 2 } /*pimlint:nondet*/
+
+//pimlint:nondet: colon separator also trims
+func d() {}
+`
+
+// TestNondetScoping pins the pimlint:nondet contract: a justification
+// is mandatory (a bare marker is itself a finding, and still
+// suppresses nothing beyond its own lines), the annotation covers only
+// its own line and the next, and both separator styles trim.
+func TestNondetScoping(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "n.go", nondetSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSet("pimlint:nondet")
+	s.AddFile(fset, f)
+
+	line := func(l int) token.Position {
+		return token.Position{Filename: "n.go", Line: l}
+	}
+
+	// The justified annotation covers its own line and the next, not
+	// the rest of the function body.
+	e, ok := s.At(line(4))
+	if !ok {
+		t.Fatal("annotation above func a not found")
+	}
+	if want := "manifest provenance, excluded from digests"; e.Justification != want {
+		t.Errorf("justification = %q, want %q", e.Justification, want)
+	}
+	if s.Covers(line(5)) {
+		t.Error("annotation must not leak past the line below it (line 5)")
+	}
+
+	// The bare marker inside func b still covers its lines — the
+	// missing justification is reported separately via Bare().
+	if !s.Covers(line(10)) {
+		t.Error("bare annotation should still cover the next line")
+	}
+	bare := s.Bare()
+	if len(bare) != 2 {
+		t.Fatalf("Bare() = %d entries, want 2 (line comment + block comment)", len(bare))
+	}
+	if posn := fset.Position(bare[0].Pos); posn.Line != 9 {
+		t.Errorf("first bare annotation at line %d, want 9", posn.Line)
+	}
+	if posn := fset.Position(bare[1].Pos); posn.Line != 13 {
+		t.Errorf("second bare annotation at line %d, want 13", posn.Line)
+	}
+
+	// A colon separator trims the same way the em-dash does.
+	e, ok = s.At(line(16))
+	if !ok {
+		t.Fatal("annotation above func d not found")
+	}
+	if want := "colon separator also trims"; e.Justification != want {
+		t.Errorf("justification = %q, want %q", e.Justification, want)
+	}
+}

@@ -76,6 +76,29 @@ type Config struct {
 	// requires every blocking channel operation reachable from them to
 	// be cancellable (a ctx.Done()/close-signal select arm).
 	WorkerRoots []string
+
+	// DetflowPackages lists the import paths the detflow taint analyzer
+	// covers: packages whose values may flow into result digests,
+	// journal records or figure-feeding telemetry, so nondeterminism
+	// (wall clock, unseeded rand, map order, scheduler reads) must not
+	// reach the DetflowSinks without an audited //pimlint:nondet.
+	DetflowPackages []string
+
+	// DetflowSinks lists the determinism-critical sinks in types.Func
+	// FullName form: digest inputs, result encoders, journal/store
+	// writes, and the telemetry counters that feed figure outputs.
+	DetflowSinks []string
+
+	// LifecyclePackages lists the import paths (service and campaign
+	// code) where every os.File / time.Timer / time.Ticker /
+	// http.Response.Body / context.CancelFunc must be released on all
+	// paths or carry //pimlint:lifecycle.
+	LifecyclePackages []string
+
+	// DurabilityPackages lists the import paths on the durability
+	// paths: errsink forbids discarding errors from fsync / Close /
+	// Write / journal append there outside //pimlint:besteffort sites.
+	DurabilityPackages []string
 }
 
 // Default returns the compiled-in configuration, kept in sync with the
@@ -153,6 +176,61 @@ func Default() *Config {
 			"(*repro/internal/serve.Server).warmLoad",
 			"repro/internal/serve/loadgen.Run",
 			"(*repro/internal/experiments.Runner).forEachPairCtx",
+		},
+		DetflowPackages: []string{
+			"repro/internal/sim",
+			"repro/internal/memctrl",
+			"repro/internal/dram",
+			"repro/internal/noc",
+			"repro/internal/sched",
+			"repro/internal/gpu",
+			"repro/internal/pim",
+			"repro/internal/faults",
+			"repro/internal/config",
+			"repro/internal/serve",
+			"repro/internal/serve/store",
+			"repro/internal/serve/loadgen",
+			"repro/internal/journal",
+			"repro/internal/experiments",
+			"repro/internal/telemetry",
+			"repro/cmd/pimrun",
+			"repro/cmd/pimsweep",
+			"repro/cmd/pimcampaign",
+			"repro/cmd/pimserve",
+		},
+		DetflowSinks: []string{
+			"(repro/internal/serve.Canonical).Digest",
+			"repro/internal/telemetry.HashConfig",
+			"repro/internal/telemetry.WriteJSONL",
+			"repro/internal/telemetry.WriteFileAtomic",
+			"repro/internal/journal.WriteFileAtomic",
+			"repro/internal/journal.Rewrite",
+			"(*repro/internal/journal.Appender).Append",
+			"(*repro/internal/serve/store.Store).Put",
+			"(*repro/internal/telemetry.Counter).Add",
+			"(*repro/internal/telemetry.Gauge).Set",
+			"(*repro/internal/telemetry.Gauge).Add",
+			"(*repro/internal/telemetry.Histogram).Observe",
+		},
+		LifecyclePackages: []string{
+			"repro/internal/serve",
+			"repro/internal/serve/store",
+			"repro/internal/serve/loadgen",
+			"repro/internal/journal",
+			"repro/internal/experiments",
+			"repro/internal/telemetry",
+			"repro/cmd/pimserve",
+			"repro/cmd/pimcampaign",
+			"repro/cmd/pimsweep",
+			"repro/cmd/pimrun",
+			"repro/cmd/pimload",
+		},
+		DurabilityPackages: []string{
+			"repro/internal/journal",
+			"repro/internal/serve/store",
+			"repro/internal/serve",
+			"repro/internal/experiments",
+			"repro/internal/telemetry",
 		},
 	}
 }
@@ -240,6 +318,14 @@ func Parse(text string) (*Config, error) {
 			cur = &cfg.ConcurrencyPackages
 		case "worker_roots":
 			cur = &cfg.WorkerRoots
+		case "detflow_packages":
+			cur = &cfg.DetflowPackages
+		case "detflow_sinks":
+			cur = &cfg.DetflowSinks
+		case "lifecycle_packages":
+			cur = &cfg.LifecyclePackages
+		case "durability_packages":
+			cur = &cfg.DurabilityPackages
 		default:
 			return nil, fmt.Errorf("line %d: unknown key %q", ln+1, key)
 		}
@@ -311,6 +397,51 @@ func (c *Config) ConfigExempted(typeName, field string) bool {
 // to the concurrency disciplines (lockorder, goorphan).
 func (c *Config) ConcurrencyPackage(importPath string) bool {
 	return containsPath(c.ConcurrencyPackages, importPath)
+}
+
+// DetflowPackage reports whether the package at importPath is covered
+// by the detflow taint analysis.
+func (c *Config) DetflowPackage(importPath string) bool {
+	return containsPath(c.DetflowPackages, importPath)
+}
+
+// DetflowSink reports whether the function with the given types.Func
+// FullName is a configured determinism sink, returning a short display
+// name (the FullName with the package path's directory prefix
+// dropped).
+func (c *Config) DetflowSink(fullName string) (string, bool) {
+	for _, s := range c.DetflowSinks {
+		if s == fullName {
+			return shortFuncName(s), true
+		}
+	}
+	return "", false
+}
+
+// LifecyclePackage reports whether the package at importPath is held
+// to the resource-lifecycle rules.
+func (c *Config) LifecyclePackage(importPath string) bool {
+	return containsPath(c.LifecyclePackages, importPath)
+}
+
+// DurabilityPackage reports whether the package at importPath is on a
+// durability path subject to the errsink rules.
+func (c *Config) DurabilityPackage(importPath string) bool {
+	return containsPath(c.DurabilityPackages, importPath)
+}
+
+// shortFuncName compresses a types.Func FullName for diagnostics:
+// "(*repro/internal/journal.Appender).Append" -> "(*journal.Appender).Append".
+func shortFuncName(full string) string {
+	out := full
+	for {
+		i := strings.LastIndex(out, "/")
+		if i < 0 {
+			return out
+		}
+		j := strings.LastIndexAny(out[:i], "(* \t")
+		out = out[:j+1] + out[i+1:]
+	}
 }
 
 // containsPath matches importPath against exact entries or trailing

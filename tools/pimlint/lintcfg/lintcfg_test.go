@@ -22,6 +22,14 @@ concurrency_packages:
   - repro/internal/journal
 worker_roots:
   - "(*repro/internal/serve.Server).worker"   # FullNames stay quoted
+detflow_packages:
+  - repro/internal/experiments
+detflow_sinks:
+  - "(repro/internal/serve.Canonical).Digest"
+lifecycle_packages:
+  - repro/internal/serve/...
+durability_packages:
+  - repro/internal/journal
 `)
 	if err != nil {
 		t.Fatal(err)
@@ -32,6 +40,10 @@ worker_roots:
 		CycleExempt:           []string{"DRAMRetryCycles"},
 		ConcurrencyPackages:   []string{"repro/internal/serve", "repro/internal/journal"},
 		WorkerRoots:           []string{"(*repro/internal/serve.Server).worker"},
+		DetflowPackages:       []string{"repro/internal/experiments"},
+		DetflowSinks:          []string{"(repro/internal/serve.Canonical).Digest"},
+		LifecyclePackages:     []string{"repro/internal/serve/..."},
+		DurabilityPackages:    []string{"repro/internal/journal"},
 	}
 	if !reflect.DeepEqual(cfg, want) {
 		t.Fatalf("parse:\n got %+v\nwant %+v", cfg, want)
@@ -100,6 +112,64 @@ func TestNilHandleAndExempt(t *testing.T) {
 	}
 	if !cfg.CycleExempted("DRAMRetryCycles") || cfg.CycleExempted("gpuCycle") {
 		t.Error("cycle exemption mismatch")
+	}
+}
+
+// TestDataflowKeys covers the PR 10 keys: package matching for the
+// three new analyzers and sink lookup with short-name display.
+func TestDataflowKeys(t *testing.T) {
+	cfg := &Config{
+		DetflowPackages:    []string{"repro/internal/experiments", "repro/cmd/..."},
+		DetflowSinks:       []string{"(*repro/internal/journal.Appender).Append", "repro/internal/telemetry.HashConfig"},
+		LifecyclePackages:  []string{"repro/internal/serve/..."},
+		DurabilityPackages: []string{"repro/internal/journal"},
+	}
+	for path, want := range map[string]bool{
+		"repro/internal/experiments": true,
+		"repro/cmd/pimrun":           true,  // "/..." covers subpackages
+		"repro/internal/sim":         false, // not listed
+	} {
+		if got := cfg.DetflowPackage(path); got != want {
+			t.Errorf("DetflowPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+	if !cfg.LifecyclePackage("repro/internal/serve/store") || cfg.LifecyclePackage("repro/internal/journal") {
+		t.Error("lifecycle package matching mismatch")
+	}
+	if !cfg.DurabilityPackage("repro/internal/journal") || cfg.DurabilityPackage("repro/internal/serve") {
+		t.Error("durability package matching mismatch")
+	}
+
+	// Sinks match by FullName and report a compressed display name.
+	name, ok := cfg.DetflowSink("(*repro/internal/journal.Appender).Append")
+	if !ok || name != "(*journal.Appender).Append" {
+		t.Errorf("DetflowSink(Append) = %q, %v", name, ok)
+	}
+	name, ok = cfg.DetflowSink("repro/internal/telemetry.HashConfig")
+	if !ok || name != "telemetry.HashConfig" {
+		t.Errorf("DetflowSink(HashConfig) = %q, %v", name, ok)
+	}
+	if _, ok := cfg.DetflowSink("repro/internal/telemetry.WriteJSONL"); ok {
+		t.Error("unlisted sink matched")
+	}
+}
+
+// TestDefaultHasDataflowEntries pins the analyzers' live coverage: the
+// digest and journal sinks, the daemons, and the durability core must
+// stay configured or the new analyzers silently stop checking them.
+func TestDefaultHasDataflowEntries(t *testing.T) {
+	cfg := Default()
+	if !cfg.DetflowPackage("repro/internal/experiments") || !cfg.DetflowPackage("repro/cmd/pimserve") {
+		t.Error("default detflow_packages lost campaign/daemon coverage")
+	}
+	if _, ok := cfg.DetflowSink("(repro/internal/serve.Canonical).Digest"); !ok {
+		t.Error("default detflow_sinks lost the request digest")
+	}
+	if !cfg.LifecyclePackage("repro/internal/serve/loadgen") {
+		t.Error("default lifecycle_packages lost the load generator")
+	}
+	if !cfg.DurabilityPackage("repro/internal/journal") || !cfg.DurabilityPackage("repro/internal/serve/store") {
+		t.Error("default durability_packages lost the persistence core")
 	}
 }
 
